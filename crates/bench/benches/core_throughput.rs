@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the core primitives: per-packet scheduling cost of the
+//! reshaping algorithms (the paper argues OR is O(N) with a trivial constant),
+//! feature extraction, and classifier inference.
+
+use classifier::features::FeatureVector;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reshape_core::ranges::SizeRanges;
+use reshape_core::reshaper::Reshaper;
+use reshape_core::scheduler::{OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin};
+use traffic_gen::app::AppKind;
+use traffic_gen::generator::SessionGenerator;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(60.0);
+    let packets = trace.len() as u64;
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.throughput(Throughput::Elements(packets));
+    group.sample_size(20);
+    let algorithms: Vec<(&str, Box<dyn Fn() -> Box<dyn ReshapeAlgorithm>>)> = vec![
+        ("RA", Box::new(|| Box::new(RandomAssign::new(3, 7)) as Box<dyn ReshapeAlgorithm>)),
+        ("RR", Box::new(|| Box::new(RoundRobin::new(3)) as Box<dyn ReshapeAlgorithm>)),
+        ("OR", Box::new(|| Box::new(OrthogonalRanges::new(SizeRanges::paper_default())) as Box<dyn ReshapeAlgorithm>)),
+        ("OR-mod", Box::new(|| Box::new(OrthogonalModulo::new(3)) as Box<dyn ReshapeAlgorithm>)),
+    ];
+    for (name, make) in algorithms {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut reshaper = Reshaper::new(make());
+                std::hint::black_box(reshaper.reshape(std::hint::black_box(&trace)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let trace = SessionGenerator::new(AppKind::Downloading, 2).generate_secs(5.0);
+    let mut group = c.benchmark_group("feature_extraction");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("window_5s", |b| {
+        b.iter(|| FeatureVector::from_trace(std::hint::black_box(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_feature_extraction);
+criterion_main!(benches);

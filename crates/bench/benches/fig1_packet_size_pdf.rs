@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 1 pipeline (per-application packet-size PDFs).
+
+use bench::figures::figure1;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_packet_size_pdf");
+    group.sample_size(10);
+    group.bench_function("seven_app_pdfs_30s", |b| {
+        b.iter(|| figure1(std::hint::black_box(7), std::hint::black_box(30.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 4 pipeline (OR over size ranges on BitTorrent).
+
+use bench::figures::figure4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_or_ranges");
+    group.sample_size(10);
+    group.bench_function("reshape_bt_30s", |b| {
+        b.iter(|| figure4(std::hint::black_box(7), std::hint::black_box(30.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 5 pipeline (OR via packet-size modulo).
+
+use bench::figures::figure5;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_or_modulo");
+    group.sample_size(10);
+    group.bench_function("reshape_bt_30s", |b| {
+        b.iter(|| figure5(std::hint::black_box(7), std::hint::black_box(30.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

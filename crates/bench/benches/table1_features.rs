@@ -1,0 +1,18 @@
+//! Criterion bench for the Table I pipeline (per-interface traffic features).
+
+use bench::corpus::ExperimentConfig;
+use bench::tables::table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("table1_features");
+    group.sample_size(10);
+    group.bench_function("features_all_apps", |b| {
+        b.iter(|| table1(std::hint::black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the Table II pipeline (classification accuracy, W = 5 s).
+
+use bench::corpus::ExperimentConfig;
+use bench::tables::table2;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("table2_accuracy_w5");
+    group.sample_size(10);
+    group.bench_function("train_and_evaluate_five_defenses", |b| {
+        b.iter(|| table2(std::hint::black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for the Table III pipeline (classification accuracy, longer window).
+
+use bench::corpus::ExperimentConfig;
+use bench::tables::table3;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table3(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        window_secs: 20.0,
+        ..ExperimentConfig::quick()
+    };
+    let mut group = c.benchmark_group("table3_accuracy_w60");
+    group.sample_size(10);
+    group.bench_function("train_and_evaluate_long_window", |b| {
+        b.iter(|| table3(std::hint::black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

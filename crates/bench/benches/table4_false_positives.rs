@@ -1,0 +1,18 @@
+//! Criterion bench for the Table IV pipeline (false-positive rates).
+
+use bench::corpus::ExperimentConfig;
+use bench::tables::table4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table4(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("table4_false_positives");
+    group.sample_size(10);
+    group.bench_function("false_positive_rates", |b| {
+        b.iter(|| table4(std::hint::black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

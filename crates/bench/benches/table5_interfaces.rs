@@ -1,0 +1,18 @@
+//! Criterion bench for the Table V pipeline (OR accuracy vs. interface count).
+
+use bench::corpus::ExperimentConfig;
+use bench::tables::table5;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table5(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("table5_interfaces");
+    group.sample_size(10);
+    group.bench_function("interface_sweep_2_3_5", |b| {
+        b.iter(|| table5(std::hint::black_box(&config), std::hint::black_box(&[2, 3, 5])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

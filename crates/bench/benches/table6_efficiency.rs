@@ -1,0 +1,18 @@
+//! Criterion bench for the Table VI pipeline (padding/morphing efficiency comparison).
+
+use bench::corpus::ExperimentConfig;
+use bench::tables::table6;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table6(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("table6_efficiency");
+    group.sample_size(10);
+    group.bench_function("efficiency_comparison", |b| {
+        b.iter(|| table6(std::hint::black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Gaussian naive Bayes.
+//!
+//! Not part of the paper's adversary, but a useful independent cross-check:
+//! if a dirt-simple generative model already separates the applications, the
+//! SVM/NN results are not an artifact of a particular discriminative trainer.
+
+use crate::dataset::Dataset;
+use crate::svm::argmax;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// A trained Gaussian naive Bayes classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    variances: Vec<Vec<f64>>,
+}
+
+/// Variance floor to keep the log-likelihood finite for constant features.
+const VARIANCE_FLOOR: f64 = 1e-6;
+
+impl GaussianNaiveBayes {
+    /// Fits per-class feature means/variances and class priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot train naive Bayes on an empty dataset");
+        let classes = data.class_count();
+        let dim = data.dim();
+        let mut counts = vec![0usize; classes];
+        let mut means = vec![vec![0.0; dim]; classes];
+        for e in data.examples() {
+            counts[e.label] += 1;
+            for (m, x) in means[e.label].iter_mut().zip(&e.features) {
+                *m += x;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                for m in &mut means[c] {
+                    *m /= *count as f64;
+                }
+            }
+        }
+        let mut variances = vec![vec![0.0; dim]; classes];
+        for e in data.examples() {
+            for ((v, m), x) in variances[e.label]
+                .iter_mut()
+                .zip(&means[e.label])
+                .zip(&e.features)
+            {
+                *v += (x - m).powi(2);
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            for v in &mut variances[c] {
+                *v = (*v / (*count).max(1) as f64).max(VARIANCE_FLOOR);
+            }
+        }
+        let total = data.len() as f64;
+        let priors = counts
+            .iter()
+            .map(|&c| (c as f64 / total).max(1e-12))
+            .collect();
+        GaussianNaiveBayes {
+            priors,
+            means,
+            variances,
+        }
+    }
+
+    /// Per-class log posterior (up to a constant) for a feature vector.
+    pub fn log_posteriors(&self, features: &[f64]) -> Vec<f64> {
+        self.priors
+            .iter()
+            .zip(self.means.iter().zip(&self.variances))
+            .map(|(prior, (means, vars))| {
+                let mut lp = prior.ln();
+                for ((x, m), v) in features.iter().zip(means).zip(vars) {
+                    lp += -0.5 * ((x - m).powi(2) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+                }
+                lp
+            })
+            .collect()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.priors.len()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn predict(&self, features: &[f64]) -> usize {
+        argmax(&self.log_posteriors(features))
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_blobs(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(3);
+        let centers = [[0.0, 0.0, 0.0], [5.0, 5.0, 0.0], [0.0, 5.0, 5.0]];
+        for (label, c) in centers.iter().enumerate() {
+            for _ in 0..80 {
+                let features: Vec<f64> = c.iter().map(|m| m + rng.gen_range(-1.0..1.0)).collect();
+                data.push(features, label);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let data = gaussian_blobs(1);
+        let nb = GaussianNaiveBayes::train(&data);
+        assert_eq!(nb.class_count(), 3);
+        let correct = nb
+            .predict_dataset(&data)
+            .iter()
+            .filter(|(t, p)| t == p)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+        assert_eq!(nb.name(), "naive-bayes");
+    }
+
+    #[test]
+    fn constant_features_do_not_break_log_likelihood() {
+        let mut data = Dataset::new(2);
+        for i in 0..20 {
+            data.push(vec![1.0, i as f64], 0);
+            data.push(vec![1.0, 100.0 + i as f64], 1);
+        }
+        let nb = GaussianNaiveBayes::train(&data);
+        let lp = nb.log_posteriors(&[1.0, 5.0]);
+        assert!(lp.iter().all(|v| v.is_finite()));
+        assert_eq!(nb.predict(&[1.0, 5.0]), 0);
+        assert_eq!(nb.predict(&[1.0, 110.0]), 1);
+    }
+
+    #[test]
+    fn priors_reflect_class_imbalance() {
+        let mut data = Dataset::new(1);
+        for _ in 0..90 {
+            data.push(vec![0.0], 0);
+        }
+        for _ in 0..10 {
+            data.push(vec![0.1], 1);
+        }
+        let nb = GaussianNaiveBayes::train(&data);
+        // With heavily overlapping likelihoods the prior dominates.
+        assert_eq!(nb.predict(&[0.05]), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_panics() {
+        let _ = GaussianNaiveBayes::train(&Dataset::new(2));
+    }
+}

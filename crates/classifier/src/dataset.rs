@@ -1,0 +1,283 @@
+//! Labelled datasets, normalisation and train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One labelled training/evaluation example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledExample {
+    /// The feature vector.
+    pub features: Vec<f64>,
+    /// The class label (a dense index).
+    pub label: usize,
+}
+
+/// A collection of labelled examples with a fixed feature dimension.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    examples: Vec<LabeledExample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for `dim`-dimensional features.
+    pub fn new(dim: usize) -> Self {
+        Dataset {
+            dim,
+            examples: Vec::new(),
+        }
+    }
+
+    /// The feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The examples.
+    pub fn examples(&self) -> &[LabeledExample] {
+        &self.examples
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Returns `true` if there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Adds an example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature vector does not match the dataset dimension.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert_eq!(
+            features.len(),
+            self.dim,
+            "feature vector has {} dimensions, dataset expects {}",
+            features.len(),
+            self.dim
+        );
+        self.examples.push(LabeledExample { features, label });
+    }
+
+    /// The number of distinct classes (`max label + 1`, 0 when empty).
+    pub fn class_count(&self) -> usize {
+        self.examples
+            .iter()
+            .map(|e| e.label + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of examples per label.
+    pub fn label_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for e in &self.examples {
+            *h.entry(e.label).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Fits a z-score normaliser on this dataset.
+    pub fn fit_normalizer(&self) -> Normalizer {
+        Normalizer::fit(self)
+    }
+
+    /// Returns a copy with every feature column z-score normalised by `norm`.
+    pub fn normalized(&self, norm: &Normalizer) -> Dataset {
+        let examples = self
+            .examples
+            .iter()
+            .map(|e| LabeledExample {
+                features: norm.apply(&e.features),
+                label: e.label,
+            })
+            .collect();
+        Dataset {
+            dim: self.dim,
+            examples,
+        }
+    }
+
+    /// Splits into `(train, test)` with approximately `test_fraction` of each
+    /// class going to the test set (stratified split).
+    pub fn stratified_split<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        test_fraction: f64,
+    ) -> (Dataset, Dataset) {
+        let test_fraction = test_fraction.clamp(0.0, 1.0);
+        let mut by_label: HashMap<usize, Vec<&LabeledExample>> = HashMap::new();
+        for e in &self.examples {
+            by_label.entry(e.label).or_default().push(e);
+        }
+        let mut train = Dataset::new(self.dim);
+        let mut test = Dataset::new(self.dim);
+        let mut labels: Vec<usize> = by_label.keys().copied().collect();
+        labels.sort_unstable();
+        for label in labels {
+            let mut group = by_label.remove(&label).expect("label exists");
+            group.shuffle(rng);
+            let n_test = ((group.len() as f64) * test_fraction).round() as usize;
+            for (i, e) in group.into_iter().enumerate() {
+                if i < n_test {
+                    test.push(e.features.clone(), e.label);
+                } else {
+                    train.push(e.features.clone(), e.label);
+                }
+            }
+        }
+        (train, test)
+    }
+
+    /// Merges another dataset into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.dim, other.dim, "dataset dimensions differ");
+        self.examples.extend_from_slice(&other.examples);
+    }
+}
+
+/// Per-column z-score normalisation fitted on a training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits means and standard deviations per feature column.
+    pub fn fit(data: &Dataset) -> Self {
+        let dim = data.dim();
+        let n = data.len().max(1) as f64;
+        let mut means = vec![0.0; dim];
+        for e in data.examples() {
+            for (m, v) in means.iter_mut().zip(&e.features) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for e in data.examples() {
+            for ((v, m), x) in vars.iter_mut().zip(&means).zip(&e.features) {
+                *v += (x - m).powi(2);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Normalizer { means, stds }
+    }
+
+    /// Applies the normalisation to one feature vector.
+    pub fn apply(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..40 {
+            d.push(vec![i as f64, 100.0], 0);
+            d.push(vec![i as f64, 200.0], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let d = toy_dataset();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.len(), 80);
+        assert!(!d.is_empty());
+        assert_eq!(d.class_count(), 2);
+        let hist = d.label_histogram();
+        assert_eq!(hist[&0], 40);
+        assert_eq!(hist[&1], 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut d = Dataset::new(3);
+        d.push(vec![1.0, 2.0], 0);
+    }
+
+    #[test]
+    fn normalizer_zero_means_unit_std() {
+        let d = toy_dataset();
+        let norm = d.fit_normalizer();
+        let nd = d.normalized(&norm);
+        for col in 0..2 {
+            let values: Vec<f64> = nd.examples().iter().map(|e| e.features[col]).collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {col} mean {mean}");
+            // Column 1 has two distinct values, std must be 1 after scaling.
+            assert!(var.sqrt() > 0.5, "column {col} std {}", var.sqrt());
+        }
+    }
+
+    #[test]
+    fn constant_columns_do_not_divide_by_zero() {
+        let mut d = Dataset::new(1);
+        for _ in 0..5 {
+            d.push(vec![3.0], 0);
+        }
+        let norm = d.fit_normalizer();
+        let out = norm.apply(&[3.0]);
+        assert!(out[0].abs() < 1e-12);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn stratified_split_respects_fraction_and_classes() {
+        let d = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) = d.stratified_split(&mut rng, 0.25);
+        assert_eq!(train.len() + test.len(), d.len());
+        let test_hist = test.label_histogram();
+        assert_eq!(test_hist[&0], 10);
+        assert_eq!(test_hist[&1], 10);
+        let (all_train, empty_test) = d.stratified_split(&mut rng, 0.0);
+        assert_eq!(all_train.len(), d.len());
+        assert!(empty_test.is_empty());
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = toy_dataset();
+        let b = toy_dataset();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 160);
+    }
+}

@@ -1,0 +1,208 @@
+//! The "best of SVM and NN" adversary the paper reports.
+//!
+//! §IV-C: *"We present the highest classification accuracy based on these
+//! features."* — i.e. for every experiment the stronger of the SVM and the
+//! neural network is reported. [`AdversaryEnsemble`] trains both (plus naive
+//! Bayes as an internal cross-check), normalises features with statistics
+//! fitted on the training set only, and exposes evaluation helpers that pick
+//! the best classifier per evaluation set.
+
+use crate::bayes::GaussianNaiveBayes;
+use crate::dataset::{Dataset, Normalizer};
+use crate::metrics::ConfusionMatrix;
+use crate::nn::{NeuralNet, NnConfig};
+use crate::svm::{LinearSvm, SvmConfig};
+use crate::Classifier;
+
+/// Training configuration for the ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// SVM hyper-parameters.
+    pub svm: SvmConfig,
+    /// Neural-network hyper-parameters.
+    pub nn: NnConfig,
+    /// Whether to also train the naive-Bayes cross-check.
+    pub include_bayes: bool,
+    /// Seed for the stochastic trainers.
+    pub seed: u64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            svm: SvmConfig::default(),
+            nn: NnConfig::default(),
+            include_bayes: true,
+            seed: 0xC1A5_51F1,
+        }
+    }
+}
+
+/// The trained adversary: a normaliser plus one or more classifiers.
+#[derive(Debug)]
+pub struct AdversaryEnsemble {
+    normalizer: Normalizer,
+    classifiers: Vec<Box<dyn Classifier>>,
+    class_count: usize,
+}
+
+impl AdversaryEnsemble {
+    /// Trains the ensemble on a labelled training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty.
+    pub fn train(training: &Dataset, config: &EnsembleConfig) -> Self {
+        assert!(!training.is_empty(), "cannot train the adversary on an empty dataset");
+        let normalizer = training.fit_normalizer();
+        let normalized = training.normalized(&normalizer);
+        let mut classifiers: Vec<Box<dyn Classifier>> = Vec::new();
+        classifiers.push(Box::new(LinearSvm::train(&normalized, &config.svm, config.seed)));
+        classifiers.push(Box::new(NeuralNet::train(&normalized, &config.nn, config.seed ^ 0x55)));
+        if config.include_bayes {
+            classifiers.push(Box::new(GaussianNaiveBayes::train(&normalized)));
+        }
+        AdversaryEnsemble {
+            normalizer,
+            classifiers,
+            class_count: training.class_count(),
+        }
+    }
+
+    /// The number of classes the adversary distinguishes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Names of the trained member classifiers.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.classifiers.iter().map(|c| c.name()).collect()
+    }
+
+    /// Evaluates one member classifier on an evaluation set, returning its
+    /// confusion matrix.
+    fn evaluate_member(&self, member: &dyn Classifier, eval: &Dataset) -> ConfusionMatrix {
+        let mut matrix = ConfusionMatrix::new(self.class_count.max(eval.class_count()));
+        for ex in eval.examples() {
+            let features = self.normalizer.apply(&ex.features);
+            matrix.record(ex.label, member.predict(&features));
+        }
+        matrix
+    }
+
+    /// Evaluates every member and returns `(name, confusion matrix)` pairs.
+    pub fn evaluate_all(&self, eval: &Dataset) -> Vec<(&'static str, ConfusionMatrix)> {
+        self.classifiers
+            .iter()
+            .map(|c| (c.name(), self.evaluate_member(c.as_ref(), eval)))
+            .collect()
+    }
+
+    /// Evaluates the ensemble the way the paper reports results: the member
+    /// with the highest *mean accuracy* on the evaluation set is selected and
+    /// its confusion matrix returned together with its name.
+    pub fn evaluate_best(&self, eval: &Dataset) -> (&'static str, ConfusionMatrix) {
+        self.evaluate_all(eval)
+            .into_iter()
+            .max_by(|(_, a), (_, b)| {
+                a.mean_accuracy()
+                    .partial_cmp(&b.mean_accuracy())
+                    .expect("accuracies are finite")
+            })
+            .expect("ensemble has at least one classifier")
+    }
+
+    /// Predicts a single feature vector with every member and returns the
+    /// majority vote (ties broken in favour of the first member, the SVM).
+    pub fn predict_majority(&self, features: &[f64]) -> usize {
+        let normalized = self.normalizer.apply(features);
+        let mut votes = vec![0usize; self.class_count.max(1)];
+        for c in &self.classifiers {
+            let p = c.predict(&normalized);
+            if p < votes.len() {
+                votes[p] += 1;
+            }
+        }
+        let first_choice = self.classifiers[0].predict(&normalized);
+        let max_votes = votes.iter().copied().max().unwrap_or(0);
+        if votes.get(first_choice).copied().unwrap_or(0) == max_votes {
+            first_choice
+        } else {
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, v)| **v)
+                .map(|(i, _)| i)
+                .unwrap_or(first_choice)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64, spread: f64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(3);
+        let centers = [[0.0, 0.0, 0.0], [8.0, 0.0, 4.0], [0.0, 8.0, -4.0]];
+        for (label, c) in centers.iter().enumerate() {
+            for _ in 0..60 {
+                let f: Vec<f64> = c.iter().map(|m| m + rng.gen_range(-spread..spread)).collect();
+                data.push(f, label);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn ensemble_trains_and_evaluates() {
+        let train = blobs(1, 1.0);
+        let test = blobs(2, 1.0);
+        let ensemble = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
+        assert_eq!(ensemble.class_count(), 3);
+        assert_eq!(ensemble.member_names(), vec!["svm", "nn", "naive-bayes"]);
+        let (name, matrix) = ensemble.evaluate_best(&test);
+        assert!(["svm", "nn", "naive-bayes"].contains(&name));
+        assert!(matrix.mean_accuracy() > 0.9, "mean accuracy {}", matrix.mean_accuracy());
+    }
+
+    #[test]
+    fn best_member_is_at_least_as_good_as_every_member() {
+        let train = blobs(3, 2.5);
+        let test = blobs(4, 2.5);
+        let ensemble = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
+        let (_, best) = ensemble.evaluate_best(&test);
+        for (_, m) in ensemble.evaluate_all(&test) {
+            assert!(best.mean_accuracy() >= m.mean_accuracy() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn majority_vote_predicts_sensible_classes() {
+        let train = blobs(5, 1.0);
+        let ensemble = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
+        assert_eq!(ensemble.predict_majority(&[0.0, 0.0, 0.0]), 0);
+        assert_eq!(ensemble.predict_majority(&[8.0, 0.0, 4.0]), 1);
+        assert_eq!(ensemble.predict_majority(&[0.0, 8.0, -4.0]), 2);
+    }
+
+    #[test]
+    fn bayes_can_be_disabled() {
+        let train = blobs(6, 1.0);
+        let config = EnsembleConfig {
+            include_bayes: false,
+            ..EnsembleConfig::default()
+        };
+        let ensemble = AdversaryEnsemble::train(&train, &config);
+        assert_eq!(ensemble.member_names(), vec!["svm", "nn"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_training_set_panics() {
+        let _ = AdversaryEnsemble::train(&Dataset::new(2), &EnsembleConfig::default());
+    }
+}

@@ -1,0 +1,244 @@
+//! A multi-layer perceptron classifier.
+//!
+//! One hidden layer with ReLU activations and a softmax output trained with
+//! mini-batch stochastic gradient descent on the cross-entropy loss. This is
+//! the "NN" half of the paper's SVM/NN adversary.
+
+use crate::dataset::Dataset;
+use crate::svm::argmax;
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the MLP trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NnConfig {
+    /// Number of hidden units.
+    pub hidden_units: usize,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for NnConfig {
+    fn default() -> Self {
+        NnConfig {
+            hidden_units: 32,
+            epochs: 120,
+            learning_rate: 0.05,
+            batch_size: 16,
+        }
+    }
+}
+
+/// A trained multi-layer perceptron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralNet {
+    // Layer 1: hidden_units x dim, layer 2: classes x hidden_units.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+}
+
+impl NeuralNet {
+    /// Trains the network on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(data: &Dataset, config: &NnConfig, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot train a network on an empty dataset");
+        let dim = data.dim();
+        let classes = data.class_count();
+        let hidden = config.hidden_units.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let scale1 = (2.0 / dim as f64).sqrt();
+        let scale2 = (2.0 / hidden as f64).sqrt();
+        let mut net = NeuralNet {
+            w1: (0..hidden)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-scale1..scale1)).collect())
+                .collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..classes)
+                .map(|_| (0..hidden).map(|_| rng.gen_range(-scale2..scale2)).collect())
+                .collect(),
+            b2: vec![0.0; classes],
+        };
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let examples = data.examples();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(config.batch_size.max(1)) {
+                // Accumulated gradients.
+                let mut gw1 = vec![vec![0.0; dim]; hidden];
+                let mut gb1 = vec![0.0; hidden];
+                let mut gw2 = vec![vec![0.0; hidden]; classes];
+                let mut gb2 = vec![0.0; classes];
+                for &idx in batch {
+                    let ex = &examples[idx];
+                    let (hidden_out, probs) = net.forward(&ex.features);
+                    // Output delta: softmax cross-entropy gradient.
+                    let mut delta_out = probs;
+                    delta_out[ex.label] -= 1.0;
+                    for c in 0..classes {
+                        for h in 0..hidden {
+                            gw2[c][h] += delta_out[c] * hidden_out[h];
+                        }
+                        gb2[c] += delta_out[c];
+                    }
+                    // Hidden delta through ReLU.
+                    for h in 0..hidden {
+                        if hidden_out[h] <= 0.0 {
+                            continue;
+                        }
+                        let mut d = 0.0;
+                        for c in 0..classes {
+                            d += delta_out[c] * net.w2[c][h];
+                        }
+                        for (g, x) in gw1[h].iter_mut().zip(&ex.features) {
+                            *g += d * x;
+                        }
+                        gb1[h] += d;
+                    }
+                }
+                let step = config.learning_rate / batch.len() as f64;
+                for h in 0..hidden {
+                    for d in 0..dim {
+                        net.w1[h][d] -= step * gw1[h][d];
+                    }
+                    net.b1[h] -= step * gb1[h];
+                }
+                for c in 0..classes {
+                    for h in 0..hidden {
+                        net.w2[c][h] -= step * gw2[c][h];
+                    }
+                    net.b2[c] -= step * gb2[c];
+                }
+            }
+        }
+        net
+    }
+
+    /// Forward pass returning `(hidden activations, class probabilities)`.
+    fn forward(&self, features: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let hidden: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| {
+                let z: f64 = w.iter().zip(features).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                z.max(0.0)
+            })
+            .collect();
+        let logits: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(w, b)| w.iter().zip(&hidden).map(|(wi, hi)| wi * hi).sum::<f64>() + b)
+            .collect();
+        (hidden, softmax(&logits))
+    }
+
+    /// Class probabilities for a feature vector.
+    pub fn probabilities(&self, features: &[f64]) -> Vec<f64> {
+        self.forward(features).1
+    }
+
+    /// Number of classes the network distinguishes.
+    pub fn class_count(&self) -> usize {
+        self.w2.len()
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Classifier for NeuralNet {
+    fn predict(&self, features: &[f64]) -> usize {
+        argmax(&self.probabilities(features))
+    }
+
+    fn name(&self) -> &'static str {
+        "nn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_dataset(seed: u64) -> Dataset {
+        // A non-linearly-separable problem: class 0 near the origin, class 1 on a ring.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(2);
+        for _ in 0..150 {
+            let a: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r_inner: f64 = rng.gen_range(0.0..1.0);
+            data.push(vec![r_inner * a.cos(), r_inner * a.sin()], 0);
+            let r_outer: f64 = rng.gen_range(3.0..4.0);
+            data.push(vec![r_outer * a.cos(), r_outer * a.sin()], 1);
+        }
+        data
+    }
+
+    #[test]
+    fn learns_a_nonlinear_boundary() {
+        let data = ring_dataset(1);
+        let nn = NeuralNet::train(&data, &NnConfig::default(), 2);
+        let correct = nn
+            .predict_dataset(&data)
+            .iter()
+            .filter(|(t, p)| t == p)
+            .count();
+        let accuracy = correct as f64 / data.len() as f64;
+        assert!(accuracy > 0.9, "accuracy {accuracy}");
+        assert_eq!(nn.class_count(), 2);
+        assert_eq!(nn.name(), "nn");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = ring_dataset(3);
+        let nn = NeuralNet::train(&data, &NnConfig { epochs: 10, ..NnConfig::default() }, 4);
+        let p = nn.probabilities(&[0.5, -0.5]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn training_is_deterministic_given_a_seed() {
+        let data = ring_dataset(5);
+        let cfg = NnConfig { epochs: 5, ..NnConfig::default() };
+        let a = NeuralNet::train(&data, &cfg, 9);
+        let b = NeuralNet::train(&data, &cfg, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_panics() {
+        let _ = NeuralNet::train(&Dataset::new(2), &NnConfig::default(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Frequency hopping.
+//!
+//! The paper's FH baseline (§IV, footnote 2) uses VirtualWiFi to hop between
+//! channels 1, 6 and 11 with a 500 ms dwell per channel. An eavesdropper
+//! tuned to a single channel therefore only observes the slices of traffic
+//! transmitted while the client sat on that channel. As the paper argues,
+//! this partitions the traffic in *time* but does not change the features of
+//! any partition, so the classifier barely suffers.
+
+use serde::{Deserialize, Serialize};
+use traffic_gen::trace::Trace;
+use wlan_sim::phy::Channel;
+use wlan_sim::time::SimDuration;
+
+/// A deterministic channel-hopping schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyHopper {
+    channels: Vec<Channel>,
+    dwell: SimDuration,
+}
+
+impl Default for FrequencyHopper {
+    fn default() -> Self {
+        // The paper's configuration: channels 1, 6, 11 with 500 ms dwell.
+        FrequencyHopper {
+            channels: Channel::hop_set().to_vec(),
+            dwell: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl FrequencyHopper {
+    /// Creates a hopping schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty or the dwell time is zero.
+    pub fn new(channels: Vec<Channel>, dwell: SimDuration) -> Self {
+        assert!(!channels.is_empty(), "need at least one channel");
+        assert!(!dwell.is_zero(), "dwell time must be positive");
+        FrequencyHopper { channels, dwell }
+    }
+
+    /// The hop set.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The dwell time per channel.
+    pub fn dwell(&self) -> SimDuration {
+        self.dwell
+    }
+
+    /// The channel in use at `elapsed` time since the start of the schedule.
+    pub fn channel_at(&self, elapsed: SimDuration) -> Channel {
+        let slot = (elapsed.as_micros() / self.dwell.as_micros().max(1)) as usize;
+        self.channels[slot % self.channels.len()]
+    }
+
+    /// Splits a trace into per-channel partitions: `partition[i]` contains the
+    /// packets transmitted while the schedule was on `channels[i]`. This is
+    /// what an adversary with one radio per channel would collect; an
+    /// adversary with a single radio sees exactly one of the partitions.
+    pub fn partition(&self, trace: &Trace) -> Vec<(Channel, Trace)> {
+        let mut partitions: Vec<(Channel, Trace)> = self
+            .channels
+            .iter()
+            .map(|&c| {
+                let mut t = Trace::new();
+                t.set_app(trace.app());
+                (c, t)
+            })
+            .collect();
+        let Some(start) = trace.start_time() else {
+            return partitions;
+        };
+        for p in trace.packets() {
+            let elapsed = p.time.saturating_since(start);
+            let slot = (elapsed.as_micros() / self.dwell.as_micros().max(1)) as usize;
+            let idx = slot % self.channels.len();
+            partitions[idx].1.push(*p);
+        }
+        partitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_gen::app::AppKind;
+    use traffic_gen::generator::SessionGenerator;
+
+    #[test]
+    fn default_schedule_matches_the_paper() {
+        let fh = FrequencyHopper::default();
+        assert_eq!(fh.channels().len(), 3);
+        assert_eq!(fh.dwell(), SimDuration::from_millis(500));
+        assert_eq!(fh.channel_at(SimDuration::from_millis(0)), Channel::CH1);
+        assert_eq!(fh.channel_at(SimDuration::from_millis(600)), Channel::CH6);
+        assert_eq!(fh.channel_at(SimDuration::from_millis(1100)), Channel::CH11);
+        assert_eq!(fh.channel_at(SimDuration::from_millis(1600)), Channel::CH1);
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(30.0);
+        let fh = FrequencyHopper::default();
+        let partitions = fh.partition(&trace);
+        assert_eq!(partitions.len(), 3);
+        let total: usize = partitions.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total, trace.len());
+        for (_, t) in &partitions {
+            assert_eq!(t.app(), Some(AppKind::BitTorrent));
+            assert!(!t.is_empty(), "30 s of BT should hit every channel");
+        }
+    }
+
+    #[test]
+    fn per_channel_partitions_keep_the_original_mean_size() {
+        // The paper's criticism of FH: each partition still looks like the app.
+        let trace = SessionGenerator::new(AppKind::Video, 2).generate_secs(30.0);
+        let original_mean = trace.mean_packet_size();
+        for (_, part) in FrequencyHopper::default().partition(&trace) {
+            assert!(
+                (part.mean_packet_size() - original_mean).abs() < 100.0,
+                "channel partition mean {} vs original {original_mean}",
+                part.mean_packet_size()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_partitions() {
+        let partitions = FrequencyHopper::default().partition(&Trace::new());
+        assert_eq!(partitions.len(), 3);
+        assert!(partitions.iter().all(|(_, t)| t.is_empty()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_channel_set_panics() {
+        let _ = FrequencyHopper::new(vec![], SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dwell_panics() {
+        let _ = FrequencyHopper::new(vec![Channel::CH1], SimDuration::ZERO);
+    }
+}

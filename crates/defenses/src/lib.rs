@@ -1,0 +1,37 @@
+//! # defenses
+//!
+//! Baseline defenses against traffic analysis, reimplemented so the
+//! traffic-reshaping reproduction can compare against them exactly as the
+//! paper does (§II-B, §IV-D):
+//!
+//! * [`padding`] — pad every packet to a fixed size (the paper pads to the
+//!   maximum observed size, 1576 bytes).
+//! * [`morphing`] — traffic morphing à la Wright et al. (NDSS'09): rewrite the
+//!   packet-size distribution of one application to look like another's,
+//!   without ever shrinking a packet below its original payload.
+//! * [`pseudonym`] — periodically rotate the client's MAC address
+//!   (Gruteser/Grunwald, Jiang et al.); partitions traffic at a coarse
+//!   granularity without changing per-partition features.
+//! * [`frequency_hopping`] — hop between channels 1/6/11 with a fixed dwell
+//!   (the VirtualWiFi-based baseline of §IV); an eavesdropper camped on one
+//!   channel sees only that channel's partition.
+//! * [`overhead`] — the byte-overhead accounting shared by every defense.
+//!
+//! All defenses operate on [`traffic_gen::Trace`] values so they compose with
+//! the same classifier pipeline as traffic reshaping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod frequency_hopping;
+pub mod morphing;
+pub mod overhead;
+pub mod padding;
+pub mod pseudonym;
+
+pub use frequency_hopping::FrequencyHopper;
+pub use morphing::TrafficMorpher;
+pub use overhead::Overhead;
+pub use padding::PacketPadder;
+pub use pseudonym::PseudonymRotator;

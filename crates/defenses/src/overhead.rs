@@ -1,0 +1,118 @@
+//! Byte-overhead accounting.
+//!
+//! The paper quantifies the cost of padding and morphing as the relative
+//! increase in transmitted bytes (e.g. 121.42 % mean overhead for padding,
+//! 39.44 % for morphing in Table VI), while traffic reshaping adds zero bytes.
+
+use serde::{Deserialize, Serialize};
+use traffic_gen::trace::Trace;
+
+/// The byte overhead a defense added to a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Overhead {
+    /// Bytes of the original trace.
+    pub original_bytes: u64,
+    /// Bytes after the defense was applied.
+    pub transformed_bytes: u64,
+}
+
+impl Overhead {
+    /// Computes the overhead between an original and a transformed trace.
+    pub fn between(original: &Trace, transformed: &Trace) -> Self {
+        Overhead {
+            original_bytes: original.total_bytes(),
+            transformed_bytes: transformed.total_bytes(),
+        }
+    }
+
+    /// Creates an overhead record directly from byte counts.
+    pub fn from_bytes(original_bytes: u64, transformed_bytes: u64) -> Self {
+        Overhead {
+            original_bytes,
+            transformed_bytes,
+        }
+    }
+
+    /// Extra bytes added by the defense (saturating at zero).
+    pub fn added_bytes(&self) -> u64 {
+        self.transformed_bytes.saturating_sub(self.original_bytes)
+    }
+
+    /// Overhead as a percentage of the original bytes, the metric of Table VI.
+    /// Returns 0 for an empty original trace.
+    pub fn percent(&self) -> f64 {
+        if self.original_bytes == 0 {
+            return 0.0;
+        }
+        self.added_bytes() as f64 / self.original_bytes as f64 * 100.0
+    }
+
+    /// Combines two overhead records (e.g. downlink + uplink, or several apps).
+    pub fn combined(&self, other: &Overhead) -> Overhead {
+        Overhead {
+            original_bytes: self.original_bytes + other.original_bytes,
+            transformed_bytes: self.transformed_bytes + other.transformed_bytes,
+        }
+    }
+}
+
+/// Averages the *percentages* of several overhead records, which is how the
+/// paper computes the "Mean" row of Table VI (a mean of per-application
+/// percentages, not a byte-weighted mean).
+pub fn mean_percent(overheads: &[Overhead]) -> f64 {
+    if overheads.is_empty() {
+        return 0.0;
+    }
+    overheads.iter().map(Overhead::percent).sum::<f64>() / overheads.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_gen::app::AppKind;
+    use traffic_gen::packet::{Direction, PacketRecord};
+
+    fn trace_with_sizes(sizes: &[usize]) -> Trace {
+        Trace::from_packets(
+            Some(AppKind::Browsing),
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| PacketRecord::at_secs(i as f64, s, Direction::Downlink, AppKind::Browsing))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn percent_overhead() {
+        let original = trace_with_sizes(&[500, 500]);
+        let padded = trace_with_sizes(&[1500, 1500]);
+        let o = Overhead::between(&original, &padded);
+        assert_eq!(o.added_bytes(), 2000);
+        assert!((o.percent() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_original_bytes_gives_zero_percent() {
+        let o = Overhead::from_bytes(0, 100);
+        assert_eq!(o.percent(), 0.0);
+    }
+
+    #[test]
+    fn shrinking_never_reports_negative_overhead() {
+        let o = Overhead::from_bytes(1000, 800);
+        assert_eq!(o.added_bytes(), 0);
+        assert_eq!(o.percent(), 0.0);
+    }
+
+    #[test]
+    fn combination_and_mean() {
+        let a = Overhead::from_bytes(100, 200); // 100 %
+        let b = Overhead::from_bytes(1000, 1000); // 0 %
+        let c = a.combined(&b);
+        assert_eq!(c.original_bytes, 1100);
+        assert_eq!(c.transformed_bytes, 1200);
+        assert!((mean_percent(&[a, b]) - 50.0).abs() < 1e-9);
+        assert_eq!(mean_percent(&[]), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the traffic-reshaping core.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the traffic-reshaping core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The configuration response did not echo the nonce of the request.
+    NonceMismatch {
+        /// Nonce sent in the request.
+        expected: u64,
+        /// Nonce found in the response.
+        found: u64,
+    },
+    /// A configuration message could not be parsed.
+    MalformedConfigMessage(String),
+    /// The requested number of virtual interfaces is invalid (must be >= 1).
+    InvalidInterfaceCount(usize),
+    /// The size-range boundaries are not strictly increasing or are empty.
+    InvalidRanges(String),
+    /// A target distribution is invalid (wrong length, negative entries,
+    /// or does not sum to one).
+    InvalidTargetDistribution(String),
+    /// A set of target distributions violates the orthogonality condition of Eq. 2.
+    NotOrthogonal {
+        /// First offending interface.
+        first: usize,
+        /// Second offending interface.
+        second: usize,
+        /// The (non-zero) dot product between their target distributions.
+        dot: f64,
+    },
+    /// An address lookup failed during MAC translation.
+    UnknownAddress(wlan_sim::mac::MacAddress),
+    /// An error bubbled up from the WLAN substrate.
+    Wlan(wlan_sim::error::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NonceMismatch { expected, found } => {
+                write!(f, "configuration nonce mismatch: expected {expected:#x}, found {found:#x}")
+            }
+            Error::MalformedConfigMessage(msg) => write!(f, "malformed configuration message: {msg}"),
+            Error::InvalidInterfaceCount(n) => write!(f, "invalid virtual interface count {n}"),
+            Error::InvalidRanges(msg) => write!(f, "invalid packet size ranges: {msg}"),
+            Error::InvalidTargetDistribution(msg) => write!(f, "invalid target distribution: {msg}"),
+            Error::NotOrthogonal { first, second, dot } => write!(
+                f,
+                "target distributions of interfaces {first} and {second} are not orthogonal (dot product {dot})"
+            ),
+            Error::UnknownAddress(a) => write!(f, "unknown mac address {a}"),
+            Error::Wlan(e) => write!(f, "wlan substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Wlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wlan_sim::error::Error> for Error {
+    fn from(e: wlan_sim::error::Error) -> Self {
+        Error::Wlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlan_sim::mac::MacAddress;
+
+    #[test]
+    fn display_is_nonempty_lowercase_without_trailing_period() {
+        let samples: Vec<Error> = vec![
+            Error::NonceMismatch { expected: 1, found: 2 },
+            Error::MalformedConfigMessage("truncated".into()),
+            Error::InvalidInterfaceCount(0),
+            Error::InvalidRanges("empty".into()),
+            Error::InvalidTargetDistribution("sums to 2".into()),
+            Error::NotOrthogonal { first: 0, second: 1, dot: 0.5 },
+            Error::UnknownAddress(MacAddress::BROADCAST),
+            Error::Wlan(wlan_sim::error::Error::AddressPoolExhausted),
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn wlan_errors_convert_and_expose_source() {
+        let e: Error = wlan_sim::error::Error::AddressPoolExhausted.into();
+        assert!(matches!(e, Error::Wlan(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&Error::InvalidInterfaceCount(0)).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Reshaping algorithms: the function `F(s_k) = i` that maps every packet to a
+//! virtual interface in real time (§III-C).
+//!
+//! Four algorithms are provided, matching the paper's evaluation:
+//!
+//! * [`RandomAssign`] (RA) — uniformly random interface per packet.
+//! * [`RoundRobin`] (RR) — interface `k mod I` for the `k`-th packet.
+//! * [`OrthogonalRanges`] (OR) — the interface owning the packet's size range
+//!   (the headline algorithm; Fig. 4).
+//! * [`OrthogonalModulo`] — the OR variant `i = L(s_k) mod I` that hashes the
+//!   exact packet size instead of a coarse range (Fig. 5).
+//!
+//! The frequency-hopping baseline is *not* a scheduler over interfaces — it
+//! partitions traffic in time over channels — and lives in
+//! `defenses::frequency_hopping`.
+
+mod modulo;
+mod orthogonal;
+mod random;
+mod round_robin;
+
+pub use modulo::OrthogonalModulo;
+pub use orthogonal::OrthogonalRanges;
+pub use random::RandomAssign;
+pub use round_robin::RoundRobin;
+
+use crate::vif::VifIndex;
+use traffic_gen::packet::PacketRecord;
+
+/// A reshaping algorithm: an online function from packets to virtual interfaces.
+///
+/// Implementations may keep internal state (e.g. the round-robin counter or
+/// the random number generator), which is why [`assign`](Self::assign) takes
+/// `&mut self`.
+pub trait ReshapeAlgorithm: std::fmt::Debug + Send {
+    /// Chooses the virtual interface for the next packet.
+    fn assign(&mut self, packet: &PacketRecord) -> VifIndex;
+
+    /// The number of virtual interfaces this algorithm schedules over (the paper's `I`).
+    fn interface_count(&self) -> usize;
+
+    /// A short name used in experiment tables ("RA", "RR", "OR", …).
+    fn name(&self) -> &'static str;
+
+    /// Resets any per-flow state so the algorithm can be reused on a new trace.
+    fn reset(&mut self) {}
+}
+
+/// The scheduling algorithms compared in Tables II and III, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Random assignment.
+    Random,
+    /// Round-robin assignment.
+    RoundRobin,
+    /// Orthogonal reshaping over size ranges.
+    OrthogonalRanges,
+    /// Orthogonal reshaping via size modulo.
+    OrthogonalModulo,
+}
+
+impl AlgorithmKind {
+    /// All algorithm kinds, in the order the paper's tables list them.
+    pub const ALL: [AlgorithmKind; 4] = [
+        AlgorithmKind::Random,
+        AlgorithmKind::RoundRobin,
+        AlgorithmKind::OrthogonalRanges,
+        AlgorithmKind::OrthogonalModulo,
+    ];
+
+    /// Builds a boxed scheduler of this kind with `interfaces` virtual
+    /// interfaces, using the paper's default size ranges for OR.
+    pub fn build(self, interfaces: usize, seed: u64) -> Box<dyn ReshapeAlgorithm> {
+        use crate::ranges::SizeRanges;
+        match self {
+            AlgorithmKind::Random => Box::new(RandomAssign::new(interfaces, seed)),
+            AlgorithmKind::RoundRobin => Box::new(RoundRobin::new(interfaces)),
+            AlgorithmKind::OrthogonalRanges => Box::new(OrthogonalRanges::new(
+                SizeRanges::for_interface_count(interfaces)
+                    .expect("interface count validated by caller"),
+            )),
+            AlgorithmKind::OrthogonalModulo => Box::new(OrthogonalModulo::new(interfaces)),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use traffic_gen::app::AppKind;
+    use traffic_gen::packet::{Direction, PacketRecord};
+
+    /// A simple packet of the given size at `index * 10 ms`.
+    pub fn packet(index: usize, size: usize) -> PacketRecord {
+        PacketRecord::at_secs(index as f64 * 0.01, size, Direction::Downlink, AppKind::BitTorrent)
+    }
+
+    /// Asserts that every assignment lies inside `0..interfaces`.
+    pub fn assert_assignments_in_range(
+        algorithm: &mut dyn ReshapeAlgorithm,
+        sizes: &[usize],
+    ) -> Vec<VifIndex> {
+        let interfaces = algorithm.interface_count();
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let vif = algorithm.assign(&packet(i, s));
+                assert!(vif.index() < interfaces, "{} out of range", vif);
+                vif
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_kinds_build_working_schedulers() {
+        for kind in AlgorithmKind::ALL {
+            let mut algorithm = kind.build(3, 7);
+            assert_eq!(algorithm.interface_count(), 3);
+            assert!(!algorithm.name().is_empty());
+            let assignments =
+                test_support::assert_assignments_in_range(algorithm.as_mut(), &[100, 800, 1576, 60]);
+            assert_eq!(assignments.len(), 4);
+        }
+    }
+
+    #[test]
+    fn kind_list_matches_paper_order() {
+        assert_eq!(AlgorithmKind::ALL.len(), 4);
+        assert_eq!(AlgorithmKind::ALL[0], AlgorithmKind::Random);
+        assert_eq!(AlgorithmKind::ALL[2], AlgorithmKind::OrthogonalRanges);
+    }
+}

@@ -1,0 +1,96 @@
+//! Orthogonal Reshaping via size modulo.
+//!
+//! The second OR example of the paper (Fig. 5): with `L = ℓ_max`, a packet of
+//! size `L(s_k)` is dispatched to interface `i = L(s_k) mod I`. Every exact
+//! size still belongs to exactly one interface — so the schedule remains
+//! orthogonal and optimal — but each interface now carries packets spanning
+//! the whole size spectrum, which makes it harder for an adversary to even
+//! detect that reshaping is in use (§III-C2).
+
+use super::ReshapeAlgorithm;
+use crate::vif::VifIndex;
+use traffic_gen::packet::PacketRecord;
+
+/// The size-modulo OR scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrthogonalModulo {
+    interfaces: usize,
+}
+
+impl OrthogonalModulo {
+    /// Creates a modulo scheduler over `interfaces` interfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interfaces` is zero.
+    pub fn new(interfaces: usize) -> Self {
+        assert!(interfaces > 0, "need at least one virtual interface");
+        OrthogonalModulo { interfaces }
+    }
+}
+
+impl ReshapeAlgorithm for OrthogonalModulo {
+    fn assign(&mut self, packet: &PacketRecord) -> VifIndex {
+        VifIndex::new(packet.size % self.interfaces)
+    }
+
+    fn interface_count(&self) -> usize {
+        self.interfaces
+    }
+
+    fn name(&self) -> &'static str {
+        "OR-mod"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::packet;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn dispatches_by_size_modulo() {
+        let mut or = OrthogonalModulo::new(3);
+        assert_eq!(or.name(), "OR-mod");
+        assert_eq!(or.interface_count(), 3);
+        assert_eq!(or.assign(&packet(0, 99)).index(), 0);
+        assert_eq!(or.assign(&packet(1, 100)).index(), 1);
+        assert_eq!(or.assign(&packet(2, 101)).index(), 2);
+        assert_eq!(or.assign(&packet(3, 1576)).index(), 1576 % 3);
+    }
+
+    #[test]
+    fn every_interface_sees_small_and_large_packets() {
+        // The property the paper highlights: each interface has a wide size range.
+        let mut or = OrthogonalModulo::new(3);
+        let mut small_interfaces = HashSet::new();
+        let mut large_interfaces = HashSet::new();
+        for (i, size) in (60..=232).enumerate() {
+            small_interfaces.insert(or.assign(&packet(i, size)).index());
+        }
+        for (i, size) in (1500..=1576).enumerate() {
+            large_interfaces.insert(or.assign(&packet(i, size)).index());
+        }
+        assert_eq!(small_interfaces.len(), 3);
+        assert_eq!(large_interfaces.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interfaces_panics() {
+        let _ = OrthogonalModulo::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn same_size_always_same_interface(size in 1usize..=1576, i in 2usize..8) {
+            let mut a = OrthogonalModulo::new(i);
+            let va = a.assign(&packet(0, size));
+            let vb = a.assign(&packet(1, size));
+            prop_assert_eq!(va, vb);
+            prop_assert!(va.index() < i);
+        }
+    }
+}

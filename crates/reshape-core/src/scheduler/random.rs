@@ -1,0 +1,103 @@
+//! Random assignment (RA).
+//!
+//! Every packet is dispatched to a uniformly random virtual interface. The
+//! paper uses RA as a naive baseline: it spreads traffic thinly but leaves
+//! every interface's packet-size *distribution* identical to the original, so
+//! the adversary's accuracy barely drops (Tables II and III).
+
+use super::ReshapeAlgorithm;
+use crate::vif::VifIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traffic_gen::packet::PacketRecord;
+
+/// The RA scheduler.
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    interfaces: usize,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl RandomAssign {
+    /// Creates an RA scheduler over `interfaces` interfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interfaces` is zero.
+    pub fn new(interfaces: usize, seed: u64) -> Self {
+        assert!(interfaces > 0, "need at least one virtual interface");
+        RandomAssign {
+            interfaces,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ReshapeAlgorithm for RandomAssign {
+    fn assign(&mut self, _packet: &PacketRecord) -> VifIndex {
+        VifIndex::new(self.rng.gen_range(0..self.interfaces))
+    }
+
+    fn interface_count(&self) -> usize {
+        self.interfaces
+    }
+
+    fn name(&self) -> &'static str {
+        "RA"
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::packet;
+
+    #[test]
+    fn spreads_packets_roughly_uniformly() {
+        let mut ra = RandomAssign::new(3, 1);
+        assert_eq!(ra.interface_count(), 3);
+        assert_eq!(ra.name(), "RA");
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            counts[ra.assign(&packet(i, 1000)).index()] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn assignment_ignores_packet_size() {
+        // Statistically, small and large packets land on every interface.
+        let mut ra = RandomAssign::new(3, 2);
+        let mut small = [0usize; 3];
+        let mut large = [0usize; 3];
+        for i in 0..900 {
+            small[ra.assign(&packet(i, 100)).index()] += 1;
+            large[ra.assign(&packet(i, 1576)).index()] += 1;
+        }
+        assert!(small.iter().all(|&c| c > 0));
+        assert!(large.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn reset_restores_the_sequence() {
+        let mut ra = RandomAssign::new(4, 9);
+        let first: Vec<usize> = (0..50).map(|i| ra.assign(&packet(i, 500)).index()).collect();
+        ra.reset();
+        let second: Vec<usize> = (0..50).map(|i| ra.assign(&packet(i, 500)).index()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interfaces_panics() {
+        let _ = RandomAssign::new(0, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Online gaming: frequent small state updates with occasional asset loads.
+//!
+//! Table I: mean downlink size ≈ 460 bytes, mean gap ≈ 0.31 s. Gaming sits
+//! between chat and the bulk applications: most packets are small position /
+//! state updates, with a tail of larger content packets.
+
+use super::{ArrivalProcess, BidirectionalModel, FlowSpec};
+use crate::app::AppKind;
+use crate::generator::TrafficModel;
+use crate::packet::Direction;
+use crate::sampler::SizeMixture;
+use crate::trace::Trace;
+use rand::RngCore;
+
+/// Calibrated online-gaming traffic model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GamingModel {
+    inner: BidirectionalModel,
+}
+
+impl Default for GamingModel {
+    fn default() -> Self {
+        let downlink = FlowSpec::new(
+            Direction::Downlink,
+            SizeMixture::new(&[
+                (0.62, 108, 232),   // state updates
+                (0.23, 400, 900),   // aggregated updates
+                (0.15, 1500, 1576), // asset / map data
+            ]),
+            ArrivalProcess::Poisson { mean_gap_secs: 0.30 },
+        );
+        let uplink = FlowSpec::new(
+            Direction::Uplink,
+            SizeMixture::new(&[(0.80, 108, 232), (0.20, 300, 800)]),
+            ArrivalProcess::Poisson { mean_gap_secs: 0.28 },
+        );
+        GamingModel {
+            inner: BidirectionalModel::new(AppKind::Gaming, downlink, uplink),
+        }
+    }
+}
+
+impl GamingModel {
+    /// Creates the calibrated default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying bidirectional specification.
+    pub fn spec(&self) -> &BidirectionalModel {
+        &self.inner
+    }
+}
+
+impl TrafficModel for GamingModel {
+    fn app(&self) -> AppKind {
+        AppKind::Gaming
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, duration_secs: f64) -> Trace {
+        self.inner.generate(rng, duration_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::assert_calibrated;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_table_one_statistics() {
+        assert_calibrated(&GamingModel::default(), 0.15, 0.30);
+    }
+
+    #[test]
+    fn gaming_mean_size_sits_between_chat_and_bulk() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let trace = GamingModel::default().generate(&mut rng, 120.0);
+        let sizes = trace.sizes(Direction::Downlink);
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(mean > 300.0 && mean < 700.0, "gaming mean size {mean}");
+    }
+
+    #[test]
+    fn uplink_and_downlink_rates_are_comparable() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let trace = GamingModel::default().generate(&mut rng, 120.0);
+        let down = trace.packets_in(Direction::Downlink).count() as f64;
+        let up = trace.packets_in(Direction::Uplink).count() as f64;
+        let ratio = down / up;
+        assert!(ratio > 0.5 && ratio < 2.0, "interactive game traffic is symmetric-ish ({ratio})");
+    }
+}

@@ -1,0 +1,372 @@
+//! Per-application traffic models.
+//!
+//! Every application gets its own module with a model calibrated against the
+//! packet-size PDFs of Fig. 1 and the downlink statistics of Table I. The
+//! models share a small toolkit defined here: a [`FlowSpec`] describes one
+//! direction of traffic as a packet-size mixture plus an arrival process, and
+//! [`generate_flow`] turns a spec into a stream of [`PacketRecord`]s.
+
+pub mod bittorrent;
+pub mod browsing;
+pub mod chatting;
+pub mod downloading;
+pub mod gaming;
+pub mod uploading;
+pub mod video;
+
+pub use bittorrent::BitTorrentModel;
+pub use browsing::BrowsingModel;
+pub use chatting::ChattingModel;
+pub use downloading::DownloadingModel;
+pub use gaming::GamingModel;
+pub use uploading::UploadingModel;
+pub use video::VideoModel;
+
+use crate::app::AppKind;
+use crate::generator::TrafficModel;
+use crate::packet::{Direction, PacketRecord};
+use crate::sampler::{Exponential, Normal, SizeMixture};
+use crate::trace::Trace;
+use rand::{Rng, RngCore};
+use wlan_sim::time::SimTime;
+
+/// How packets of a flow are spaced in time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals with exponential gaps of the given mean (seconds).
+    Poisson {
+        /// Mean inter-arrival gap in seconds.
+        mean_gap_secs: f64,
+    },
+    /// Near-constant spacing with Gaussian jitter (streaming video).
+    ConstantRate {
+        /// Nominal gap in seconds.
+        gap_secs: f64,
+        /// Standard deviation of the jitter in seconds.
+        jitter_secs: f64,
+    },
+    /// ON/OFF bursts (web browsing): a burst of geometrically many packets
+    /// separated by short exponential gaps, followed by an exponential
+    /// think-time before the next burst.
+    OnOff {
+        /// Mean number of packets per burst.
+        mean_burst_packets: f64,
+        /// Mean gap between packets inside a burst, in seconds.
+        in_burst_gap_secs: f64,
+        /// Mean think-time between bursts, in seconds.
+        off_gap_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean gap between consecutive packets, in seconds.
+    pub fn mean_gap_secs(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { mean_gap_secs } => *mean_gap_secs,
+            ArrivalProcess::ConstantRate { gap_secs, .. } => *gap_secs,
+            ArrivalProcess::OnOff {
+                mean_burst_packets,
+                in_burst_gap_secs,
+                off_gap_secs,
+            } => {
+                // A burst of B packets contributes (B-1) short gaps and one off gap.
+                ((mean_burst_packets - 1.0).max(0.0) * in_burst_gap_secs + off_gap_secs)
+                    / mean_burst_packets.max(1.0)
+            }
+        }
+    }
+}
+
+/// One direction of an application's traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// The direction of this flow.
+    pub direction: Direction,
+    /// Packet-size mixture.
+    pub sizes: SizeMixture,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+}
+
+impl FlowSpec {
+    /// Creates a flow spec.
+    pub fn new(direction: Direction, sizes: SizeMixture, arrivals: ArrivalProcess) -> Self {
+        FlowSpec {
+            direction,
+            sizes,
+            arrivals,
+        }
+    }
+}
+
+/// Generates the packets of a single flow over `duration_secs` seconds.
+pub fn generate_flow(
+    spec: &FlowSpec,
+    app: AppKind,
+    rng: &mut dyn RngCore,
+    duration_secs: f64,
+) -> Vec<PacketRecord> {
+    let mut packets = Vec::new();
+    let mut t = 0.0f64;
+    match &spec.arrivals {
+        ArrivalProcess::Poisson { mean_gap_secs } => {
+            let gaps = Exponential::new(*mean_gap_secs);
+            loop {
+                t += gaps.sample(rng);
+                if t > duration_secs {
+                    break;
+                }
+                packets.push(make_packet(spec, app, t, rng));
+            }
+        }
+        ArrivalProcess::ConstantRate {
+            gap_secs,
+            jitter_secs,
+        } => {
+            let jitter = Normal::new(*gap_secs, *jitter_secs);
+            loop {
+                t += jitter.sample_clamped(rng, gap_secs * 0.1, gap_secs * 4.0);
+                if t > duration_secs {
+                    break;
+                }
+                packets.push(make_packet(spec, app, t, rng));
+            }
+        }
+        ArrivalProcess::OnOff {
+            mean_burst_packets,
+            in_burst_gap_secs,
+            off_gap_secs,
+        } => {
+            let in_burst = Exponential::new(*in_burst_gap_secs);
+            let off = Exponential::new(*off_gap_secs);
+            'outer: loop {
+                // Geometric burst length with the requested mean (>= 1 packet).
+                let p_stop = 1.0 / mean_burst_packets.max(1.0);
+                let mut remaining = 1usize;
+                while rng.gen::<f64>() > p_stop && remaining < 10_000 {
+                    remaining += 1;
+                }
+                for i in 0..remaining {
+                    if i > 0 {
+                        t += in_burst.sample(rng);
+                    }
+                    if t > duration_secs {
+                        break 'outer;
+                    }
+                    packets.push(make_packet(spec, app, t, rng));
+                }
+                t += off.sample(rng);
+                if t > duration_secs {
+                    break;
+                }
+            }
+        }
+    }
+    packets
+}
+
+fn make_packet(spec: &FlowSpec, app: AppKind, t: f64, rng: &mut dyn RngCore) -> PacketRecord {
+    let size = spec
+        .sizes
+        .sample(rng)
+        .clamp(crate::MIN_PACKET_SIZE, crate::MAX_PACKET_SIZE);
+    PacketRecord::new(SimTime::from_secs_f64(t), size, spec.direction, app)
+}
+
+/// A generic two-flow (downlink + uplink) model; all seven application models
+/// are thin calibrated wrappers around this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidirectionalModel {
+    app: AppKind,
+    downlink: FlowSpec,
+    uplink: FlowSpec,
+}
+
+impl BidirectionalModel {
+    /// Creates a model from its two flow specs.
+    pub fn new(app: AppKind, downlink: FlowSpec, uplink: FlowSpec) -> Self {
+        debug_assert_eq!(downlink.direction, Direction::Downlink);
+        debug_assert_eq!(uplink.direction, Direction::Uplink);
+        BidirectionalModel {
+            app,
+            downlink,
+            uplink,
+        }
+    }
+
+    /// The downlink flow spec.
+    pub fn downlink(&self) -> &FlowSpec {
+        &self.downlink
+    }
+
+    /// The uplink flow spec.
+    pub fn uplink(&self) -> &FlowSpec {
+        &self.uplink
+    }
+}
+
+impl TrafficModel for BidirectionalModel {
+    fn app(&self) -> AppKind {
+        self.app
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, duration_secs: f64) -> Trace {
+        let mut packets = generate_flow(&self.downlink, self.app, rng, duration_secs);
+        packets.extend(generate_flow(&self.uplink, self.app, rng, duration_secs));
+        Trace::from_packets(Some(self.app), packets)
+    }
+}
+
+/// Returns the calibrated default model for an application.
+pub fn model_for(app: AppKind) -> Box<dyn TrafficModel> {
+    match app {
+        AppKind::Browsing => Box::new(BrowsingModel::default()),
+        AppKind::Chatting => Box::new(ChattingModel::default()),
+        AppKind::Gaming => Box::new(GamingModel::default()),
+        AppKind::Downloading => Box::new(DownloadingModel::default()),
+        AppKind::Uploading => Box::new(UploadingModel::default()),
+        AppKind::Video => Box::new(VideoModel::default()),
+        AppKind::BitTorrent => Box::new(BitTorrentModel::default()),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared assertions used by the per-application model tests.
+
+    use super::*;
+    use crate::profile::paper_profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generates a long trace and asserts its downlink mean size and mean
+    /// inter-arrival time are within the given relative tolerances of the
+    /// paper's Table I values.
+    pub fn assert_calibrated(
+        model: &dyn TrafficModel,
+        size_tolerance: f64,
+        gap_tolerance: f64,
+    ) {
+        let profile = paper_profile(model.app());
+        let mut rng = StdRng::seed_from_u64(2024);
+        let trace = model.generate(&mut rng, 120.0);
+        let sizes = trace.sizes(Direction::Downlink);
+        assert!(sizes.len() > 20, "{}: too few downlink packets", model.app());
+        let mean_size = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let rel_size = (mean_size - profile.mean_packet_size).abs() / profile.mean_packet_size;
+        assert!(
+            rel_size <= size_tolerance,
+            "{}: mean size {mean_size:.1} vs paper {:.1} (rel err {rel_size:.3})",
+            model.app(),
+            profile.mean_packet_size
+        );
+        let mean_gap = trace.mean_interarrival_secs(Direction::Downlink);
+        let rel_gap =
+            (mean_gap - profile.mean_interarrival_secs).abs() / profile.mean_interarrival_secs;
+        assert!(
+            rel_gap <= gap_tolerance,
+            "{}: mean gap {mean_gap:.4} vs paper {:.4} (rel err {rel_gap:.3})",
+            model.app(),
+            profile.mean_interarrival_secs
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrival_mean_gap_formula() {
+        assert_eq!(
+            ArrivalProcess::Poisson { mean_gap_secs: 0.5 }.mean_gap_secs(),
+            0.5
+        );
+        assert_eq!(
+            ArrivalProcess::ConstantRate {
+                gap_secs: 0.01,
+                jitter_secs: 0.001
+            }
+            .mean_gap_secs(),
+            0.01
+        );
+        let onoff = ArrivalProcess::OnOff {
+            mean_burst_packets: 10.0,
+            in_burst_gap_secs: 0.01,
+            off_gap_secs: 1.0,
+        };
+        assert!((onoff.mean_gap_secs() - (9.0 * 0.01 + 1.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_flow_respects_duration_and_rate() {
+        let spec = FlowSpec::new(
+            Direction::Downlink,
+            SizeMixture::new(&[(1.0, 1576, 1576)]),
+            ArrivalProcess::Poisson { mean_gap_secs: 0.01 },
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let packets = generate_flow(&spec, AppKind::Downloading, &mut rng, 10.0);
+        assert!(packets.iter().all(|p| p.time.as_secs_f64() <= 10.0));
+        // Expected ~1000 packets; allow wide slack.
+        assert!(packets.len() > 700 && packets.len() < 1300, "{}", packets.len());
+        assert!(packets.iter().all(|p| p.size == 1576));
+    }
+
+    #[test]
+    fn onoff_flow_is_bursty() {
+        let spec = FlowSpec::new(
+            Direction::Downlink,
+            SizeMixture::new(&[(1.0, 1000, 1576)]),
+            ArrivalProcess::OnOff {
+                mean_burst_packets: 30.0,
+                in_burst_gap_secs: 0.005,
+                off_gap_secs: 1.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let packets = generate_flow(&spec, AppKind::Browsing, &mut rng, 60.0);
+        assert!(packets.len() > 100);
+        let gaps: Vec<f64> = packets
+            .windows(2)
+            .map(|w| w[1].time.as_secs_f64() - w[0].time.as_secs_f64())
+            .collect();
+        let short = gaps.iter().filter(|g| **g < 0.05).count();
+        let long = gaps.iter().filter(|g| **g > 0.3).count();
+        assert!(short > long, "bursty traffic has mostly short gaps");
+        assert!(long > 0, "bursty traffic has think times");
+    }
+
+    #[test]
+    fn constant_rate_flow_has_low_jitter() {
+        let spec = FlowSpec::new(
+            Direction::Downlink,
+            SizeMixture::new(&[(1.0, 1546, 1576)]),
+            ArrivalProcess::ConstantRate {
+                gap_secs: 0.02,
+                jitter_secs: 0.002,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let packets = generate_flow(&spec, AppKind::Video, &mut rng, 20.0);
+        let gaps: Vec<f64> = packets
+            .windows(2)
+            .map(|w| w[1].time.as_secs_f64() - w[0].time.as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let std =
+            (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt();
+        assert!((mean - 0.02).abs() < 0.003, "mean gap {mean}");
+        assert!(std < 0.01, "video jitter should be small, got {std}");
+    }
+
+    #[test]
+    fn model_for_returns_a_model_per_app() {
+        for app in AppKind::ALL {
+            let model = model_for(app);
+            assert_eq!(model.app(), app);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Self-contained random samplers.
+//!
+//! The traffic models need a handful of continuous and discrete distributions
+//! (exponential inter-arrivals, normal jitter, log-normal burst sizes, Pareto
+//! object sizes, categorical packet-size mixtures). To keep the dependency
+//! footprint to the pre-approved `rand` crate, the samplers are implemented
+//! here directly from uniform variates.
+
+use rand::Rng;
+
+/// Samples from an exponential distribution with the given mean (seconds,
+/// bytes, …).
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive and finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler with mean `mean`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        Exponential { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+/// Samples from a normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters mean={mean} std_dev={std_dev}");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + z * self.std_dev
+    }
+
+    /// Draws one sample clamped to `[lo, hi]`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Samples from a log-normal distribution parameterised by the mean and
+/// standard deviation of the *underlying* normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal sampler with underlying normal `N(mu, sigma)`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            normal: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// Samples from a Pareto distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "invalid pareto parameters x_min={x_min} alpha={alpha}");
+        Pareto { x_min, alpha }
+    }
+
+    /// Draws one sample (always `>= x_min`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Samples an index according to a set of non-negative weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical sampler from weights (they do not need to sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid categorical weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "categorical weights must not all be zero");
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if there are no categories (never happens after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x: f64 = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+/// Samples a packet size uniformly from an inclusive byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    /// Creates an inclusive size range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "size range lo {lo} > hi {hi}");
+        SizeRange { lo, hi }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Upper bound (inclusive).
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Draws one size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+/// A mixture of size ranges with weights: the workhorse behind the bimodal
+/// packet-size PDFs of Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeMixture {
+    categorical: Categorical,
+    ranges: Vec<SizeRange>,
+}
+
+impl SizeMixture {
+    /// Creates a mixture from `(weight, lo, hi)` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or any weight/range is invalid.
+    pub fn new(components: &[(f64, usize, usize)]) -> Self {
+        let weights: Vec<f64> = components.iter().map(|(w, _, _)| *w).collect();
+        let ranges: Vec<SizeRange> = components
+            .iter()
+            .map(|(_, lo, hi)| SizeRange::new(*lo, *hi))
+            .collect();
+        SizeMixture {
+            categorical: Categorical::new(&weights),
+            ranges,
+        }
+    }
+
+    /// Draws one packet size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let idx = self.categorical.sample(rng);
+        self.ranges[idx].sample(rng)
+    }
+
+    /// The expected value of the mixture, assuming uniform sampling inside
+    /// each range (used to calibrate models against Table I).
+    pub fn mean(&self) -> f64 {
+        let weights = &self.categorical.cumulative;
+        let total = *weights.last().expect("non-empty");
+        let mut mean = 0.0;
+        let mut prev = 0.0;
+        for (i, r) in self.ranges.iter().enumerate() {
+            let w = (weights[i] - prev) / total;
+            prev = weights[i];
+            mean += w * (r.lo as f64 + r.hi as f64) / 2.0;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = rng();
+        let exp = Exponential::new(0.05);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.05).abs() < 0.003, "sample mean {mean}");
+        assert_eq!(exp.mean(), 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_non_positive_mean() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = rng();
+        let n = Normal::new(10.0, 2.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+        let clamped = n.sample_clamped(&mut rng, 9.9, 10.1);
+        assert!((9.9..=10.1).contains(&clamped));
+        assert_eq!(Normal::new(5.0, 0.0).sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = rng();
+        let ln = LogNormal::new(0.0, 1.0);
+        let samples: Vec<f64> = (0..5_000).map(|_| ln.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(mean > median, "log-normal is right-skewed");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = rng();
+        let p = Pareto::new(3.0, 2.5);
+        for _ in 0..1_000 {
+            assert!(p.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn categorical_follows_weights() {
+        let mut rng = rng();
+        let c = Categorical::new(&[0.7, 0.2, 0.1]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.7).abs() < 0.02, "{freqs:?}");
+        assert!((freqs[1] - 0.2).abs() < 0.02, "{freqs:?}");
+        assert!((freqs[2] - 0.1).abs() < 0.02, "{freqs:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_all_zero_weights() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn size_range_and_mixture() {
+        let mut rng = rng();
+        let r = SizeRange::new(100, 200);
+        assert_eq!(r.lo(), 100);
+        assert_eq!(r.hi(), 200);
+        for _ in 0..500 {
+            let s = r.sample(&mut rng);
+            assert!((100..=200).contains(&s));
+        }
+        assert_eq!(SizeRange::new(5, 5).sample(&mut rng), 5);
+
+        let mix = SizeMixture::new(&[(0.5, 100, 200), (0.5, 1500, 1576)]);
+        let samples: Vec<usize> = (0..10_000).map(|_| mix.sample(&mut rng)).collect();
+        assert!(samples.iter().any(|&s| s <= 200));
+        assert!(samples.iter().any(|&s| s >= 1500));
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!((mean - mix.mean()).abs() < 20.0, "mean {mean} vs {}", mix.mean());
+    }
+}

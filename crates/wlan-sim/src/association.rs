@@ -1,0 +1,118 @@
+//! Association state machine shared by stations and the access point.
+
+use crate::mac::MacAddress;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The association state of a station with respect to an AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AssociationState {
+    /// Not associated with any AP.
+    #[default]
+    Unassociated,
+    /// Association request sent, waiting for the response.
+    Pending,
+    /// Associated; the AP has assigned an association ID.
+    Associated {
+        /// The association ID assigned by the AP.
+        aid: u16,
+    },
+}
+
+impl AssociationState {
+    /// Returns `true` if the station is fully associated.
+    pub fn is_associated(&self) -> bool {
+        matches!(self, AssociationState::Associated { .. })
+    }
+
+    /// The association ID, if associated.
+    pub fn aid(&self) -> Option<u16> {
+        match self {
+            AssociationState::Associated { aid } => Some(*aid),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AssociationState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssociationState::Unassociated => write!(f, "unassociated"),
+            AssociationState::Pending => write!(f, "pending"),
+            AssociationState::Associated { aid } => write!(f, "associated (aid {aid})"),
+        }
+    }
+}
+
+/// A record the AP keeps for every associated station.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssociationRecord {
+    /// The station's unique physical MAC address.
+    pub physical_addr: MacAddress,
+    /// The association ID assigned to the station.
+    pub aid: u16,
+    /// Virtual MAC addresses currently configured for the station
+    /// (empty when traffic reshaping is not in use).
+    pub virtual_addrs: Vec<MacAddress>,
+}
+
+impl AssociationRecord {
+    /// Creates a record with no virtual interfaces yet.
+    pub fn new(physical_addr: MacAddress, aid: u16) -> Self {
+        AssociationRecord {
+            physical_addr,
+            aid,
+            virtual_addrs: Vec::new(),
+        }
+    }
+
+    /// Returns `true` if `addr` is either the physical address or one of the
+    /// configured virtual addresses.
+    pub fn owns_address(&self, addr: MacAddress) -> bool {
+        self.physical_addr == addr || self.virtual_addrs.contains(&addr)
+    }
+
+    /// Number of MAC identities (physical + virtual) this station presents.
+    pub fn identity_count(&self) -> usize {
+        1 + self.virtual_addrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> MacAddress {
+        MacAddress::new([0x02, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn default_state_is_unassociated() {
+        let s = AssociationState::default();
+        assert_eq!(s, AssociationState::Unassociated);
+        assert!(!s.is_associated());
+        assert_eq!(s.aid(), None);
+        assert_eq!(s.to_string(), "unassociated");
+    }
+
+    #[test]
+    fn associated_state_reports_aid() {
+        let s = AssociationState::Associated { aid: 3 };
+        assert!(s.is_associated());
+        assert_eq!(s.aid(), Some(3));
+        assert_eq!(s.to_string(), "associated (aid 3)");
+        assert_eq!(AssociationState::Pending.to_string(), "pending");
+    }
+
+    #[test]
+    fn record_tracks_virtual_addresses() {
+        let mut rec = AssociationRecord::new(addr(1), 7);
+        assert_eq!(rec.identity_count(), 1);
+        assert!(rec.owns_address(addr(1)));
+        assert!(!rec.owns_address(addr(2)));
+        rec.virtual_addrs.push(addr(10));
+        rec.virtual_addrs.push(addr(11));
+        assert_eq!(rec.identity_count(), 3);
+        assert!(rec.owns_address(addr(11)));
+    }
+}

@@ -1,0 +1,247 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! A minimal calendar queue: events are `(time, sequence, payload)` triples
+//! kept in a binary heap. Ties in time are broken by insertion order so a
+//! simulation with a fixed RNG seed is fully reproducible, which matters for
+//! the trace-based experiments (identical inputs must give identical tables).
+
+use crate::error::{Error, Result};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for execution at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number used to break ties deterministically.
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+        // event (and lowest sequence number) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A discrete-event queue with a monotone clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_sequence: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_sequence: 0,
+            processed: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the time of the most recently popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of events that have been popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EventInPast`] if `time` precedes the current clock.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> Result<()> {
+        if time < self.now {
+            return Err(Error::EventInPast {
+                now: self.now,
+                requested: time,
+            });
+        }
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            sequence,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Time of the next pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let event = self.heap.pop()?;
+        self.now = event.time;
+        self.processed += 1;
+        Some(event)
+    }
+
+    /// Pops every event up to and including `deadline`, in order.
+    pub fn drain_until(&mut self, deadline: SimTime) -> Vec<ScheduledEvent<E>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            out.push(self.pop().expect("peeked event exists"));
+        }
+        out
+    }
+
+    /// Runs the queue to exhaustion, invoking `handler` for every event.
+    ///
+    /// The handler may schedule further events through the `&mut EventQueue`
+    /// it receives. Processing stops when the queue is empty or after
+    /// `max_events` events (a safety valve against runaway self-scheduling).
+    pub fn run<F>(&mut self, max_events: u64, mut handler: F) -> u64
+    where
+        F: FnMut(&mut EventQueue<E>, ScheduledEvent<E>),
+    {
+        let mut count = 0;
+        while count < max_events {
+            match self.pop() {
+                Some(ev) => {
+                    handler(self, ev);
+                    count += 1;
+                }
+                None => break,
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), "c").unwrap();
+        q.schedule(SimTime::from_micros(10), "a").unwrap();
+        q.schedule(SimTime::from_micros(20), "b").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_micros(30));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(SimTime::from_micros(5), i).unwrap();
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<u32> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ()).unwrap();
+        q.pop();
+        let err = q.schedule(SimTime::from_micros(5), ()).unwrap_err();
+        assert!(matches!(err, Error::EventInPast { .. }));
+        // Scheduling exactly at "now" is allowed.
+        q.schedule(SimTime::from_micros(10), ()).unwrap();
+    }
+
+    #[test]
+    fn drain_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        for i in 1..=10u64 {
+            q.schedule(SimTime::from_micros(i * 10), i).unwrap();
+        }
+        let first = q.drain_until(SimTime::from_micros(50));
+        assert_eq!(first.len(), 5);
+        assert_eq!(q.len(), 5);
+        assert!(!q.is_empty());
+        let rest = q.drain_until(SimTime::from_micros(1_000));
+        assert_eq!(rest.len(), 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_allows_handler_to_schedule_follow_ups() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32).unwrap();
+        let mut seen = Vec::new();
+        q.run(100, |queue, ev| {
+            seen.push(ev.payload);
+            if ev.payload < 4 {
+                queue
+                    .schedule(ev.time + SimDuration::from_micros(10), ev.payload + 1)
+                    .unwrap();
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_stops_at_max_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ()).unwrap();
+        let n = q.run(5, |queue, ev| {
+            // Endless self-scheduling: the cap must stop us.
+            queue
+                .schedule(ev.time + SimDuration::from_micros(1), ())
+                .unwrap();
+        });
+        assert_eq!(n, 5);
+    }
+}

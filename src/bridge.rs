@@ -1,0 +1,200 @@
+//! Glue between the WLAN simulator, the reshaping engine and the adversary.
+//!
+//! The member crates are deliberately decoupled: `wlan-sim` knows about frames
+//! and RSSI, `traffic-gen` about packet streams, `classifier` about feature
+//! vectors. The bridge converts between those views so the examples and
+//! integration tests can run a *complete* pipeline: application traffic →
+//! reshaping → frames on the air → sniffer captures → classifier input.
+
+use crate::reshape::reshaper::Reshaper;
+use crate::reshape::translation::TranslationTable;
+use crate::reshape::vif::VirtualInterfaceSet;
+use crate::traffic::app::AppKind;
+use crate::traffic::packet::{Direction, PacketRecord};
+use crate::traffic::trace::Trace;
+use crate::wlan::frame::{Frame, MAC_OVERHEAD_BYTES};
+use crate::wlan::mac::MacAddress;
+use crate::wlan::sniffer::CapturedFrame;
+
+/// Converts one packet record into an on-air frame between a station (or one
+/// of its virtual interfaces) and the AP.
+///
+/// Downlink packets become `AP -> station_addr` frames, uplink packets become
+/// `station_addr -> AP` frames. The frame's on-air size equals the packet's
+/// recorded size (payload is zero-filled; only its length matters).
+pub fn packet_to_frame(packet: &PacketRecord, station_addr: MacAddress, ap: MacAddress) -> Frame {
+    let (src, dst) = match packet.direction {
+        Direction::Downlink => (ap, station_addr),
+        Direction::Uplink => (station_addr, ap),
+    };
+    let air_size = packet.size.max(MAC_OVERHEAD_BYTES);
+    Frame::data_of_air_size(src, dst, air_size)
+}
+
+/// Converts a whole trace into frames, dispatching every packet through the
+/// reshaping engine so each frame carries the virtual MAC address chosen by
+/// the scheduler. Returns `(time, frame)` pairs in transmission order.
+///
+/// The translation table is consulted so the produced frames are exactly what
+/// the paper's Fig. 3 data path would put on the air.
+pub fn trace_to_frames(
+    trace: &Trace,
+    reshaper: &mut Reshaper,
+    vifs: &VirtualInterfaceSet,
+    physical: MacAddress,
+    ap: MacAddress,
+) -> Vec<(crate::wlan::time::SimTime, Frame)> {
+    let mut table = TranslationTable::new();
+    table.install(physical, vifs);
+    let outcome = reshaper.reshape(trace);
+    outcome
+        .assignments()
+        .iter()
+        .map(|(packet, vif)| {
+            let addr = vifs.get(*vif).map(|v| v.mac()).unwrap_or(physical);
+            (packet.time, packet_to_frame(packet, addr, ap))
+        })
+        .collect()
+}
+
+/// Converts sniffer captures back into a labelled trace for one observed
+/// device address (the adversary's per-"user" flow reassembly).
+///
+/// `label` is the ground-truth application used when scoring the classifier;
+/// a real adversary obviously does not know it.
+pub fn captures_to_trace(
+    captures: &[CapturedFrame],
+    device: MacAddress,
+    label: Option<AppKind>,
+) -> Trace {
+    let packets = captures
+        .iter()
+        .filter(|c| c.is_data && (c.src == device || c.dst == device))
+        .map(|c| {
+            let direction = if c.dst == device {
+                Direction::Downlink
+            } else {
+                Direction::Uplink
+            };
+            PacketRecord::new(c.time, c.size, direction, label.unwrap_or(AppKind::Browsing))
+        })
+        .collect();
+    let mut trace = Trace::from_packets(label, packets);
+    if label.is_none() {
+        trace.set_app(None);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reshape::ranges::SizeRanges;
+    use crate::reshape::scheduler::OrthogonalRanges;
+    use crate::traffic::generator::SessionGenerator;
+    use crate::wlan::phy::Channel;
+    use crate::wlan::time::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn station() -> MacAddress {
+        MacAddress::new([0x00, 0x11, 0x22, 0, 0, 1])
+    }
+
+    fn ap() -> MacAddress {
+        MacAddress::new([0x00, 0x1f, 0x3a, 0, 0, 0xaa])
+    }
+
+    #[test]
+    fn packet_to_frame_maps_directions() {
+        let down = PacketRecord::at_secs(0.0, 1400, Direction::Downlink, AppKind::Video);
+        let up = PacketRecord::at_secs(0.1, 200, Direction::Uplink, AppKind::Video);
+        let f_down = packet_to_frame(&down, station(), ap());
+        assert_eq!(f_down.header().src(), ap());
+        assert_eq!(f_down.header().dst(), station());
+        assert_eq!(f_down.air_size(), 1400);
+        let f_up = packet_to_frame(&up, station(), ap());
+        assert_eq!(f_up.header().src(), station());
+        assert_eq!(f_up.header().dst(), ap());
+        assert_eq!(f_up.air_size(), 200);
+        // Tiny packets are clamped to the MAC overhead.
+        let tiny = PacketRecord::at_secs(0.2, 10, Direction::Uplink, AppKind::Video);
+        assert_eq!(packet_to_frame(&tiny, station(), ap()).air_size(), MAC_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn trace_to_frames_uses_virtual_addresses() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let macs: Vec<MacAddress> = (0..3)
+            .map(|_| MacAddress::random_locally_administered(&mut rng))
+            .collect();
+        let vifs = VirtualInterfaceSet::from_macs(&macs);
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(5.0);
+        let mut reshaper =
+            Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let frames = trace_to_frames(&trace, &mut reshaper, &vifs, station(), ap());
+        assert_eq!(frames.len(), trace.len());
+        // Every frame involves the AP and one of the virtual addresses.
+        for (_, frame) in &frames {
+            let other = if frame.header().src() == ap() {
+                frame.header().dst()
+            } else {
+                frame.header().src()
+            };
+            assert!(macs.contains(&other), "unexpected device address {other}");
+        }
+        // All three virtual addresses appear (BT covers all three size ranges).
+        for mac in &macs {
+            assert!(frames
+                .iter()
+                .any(|(_, f)| f.header().src() == *mac || f.header().dst() == *mac));
+        }
+    }
+
+    #[test]
+    fn captures_round_trip_back_to_traces() {
+        let captures: Vec<CapturedFrame> = vec![
+            CapturedFrame {
+                time: SimTime::from_millis(0),
+                size: 1500,
+                src: ap(),
+                dst: station(),
+                bssid: ap(),
+                channel: Channel::CH6,
+                rssi_dbm: -50.0,
+                is_data: true,
+                from_ap: true,
+            },
+            CapturedFrame {
+                time: SimTime::from_millis(10),
+                size: 200,
+                src: station(),
+                dst: ap(),
+                bssid: ap(),
+                channel: Channel::CH6,
+                rssi_dbm: -48.0,
+                is_data: true,
+                from_ap: false,
+            },
+            // Management frame: ignored.
+            CapturedFrame {
+                time: SimTime::from_millis(20),
+                size: 60,
+                src: station(),
+                dst: ap(),
+                bssid: ap(),
+                channel: Channel::CH6,
+                rssi_dbm: -48.0,
+                is_data: false,
+                from_ap: false,
+            },
+        ];
+        let trace = captures_to_trace(&captures, station(), Some(AppKind::Video));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.app(), Some(AppKind::Video));
+        assert_eq!(trace.packets()[0].direction, Direction::Downlink);
+        assert_eq!(trace.packets()[1].direction, Direction::Uplink);
+        let unlabelled = captures_to_trace(&captures, station(), None);
+        assert_eq!(unlabelled.app(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration test of the configuration protocol run over the actual wire
+//! format: the request and response travel as encoded, encrypted 802.11-style
+//! frames, and an eavesdropper who captures both frames learns nothing that
+//! links the physical address to the assigned virtual addresses.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_reshaping::reshape::config::{ap_handle_request, ApConfigPolicy, ConfigClient};
+use traffic_reshaping::reshape::translation::TranslationTable;
+use traffic_reshaping::reshape::vif::VifIndex;
+use traffic_reshaping::wlan::ap::AccessPoint;
+use traffic_reshaping::wlan::channel::Position;
+use traffic_reshaping::wlan::crypto::LinkKey;
+use traffic_reshaping::wlan::frame::{Frame, Payload};
+use traffic_reshaping::wlan::mac::MacAddress;
+
+fn bssid() -> MacAddress {
+    MacAddress::new([0x00, 0x1f, 0x3a, 0, 0, 0xaa])
+}
+
+fn client() -> MacAddress {
+    MacAddress::new([0x00, 0x16, 0x6f, 0, 0, 0x01])
+}
+
+#[test]
+fn configuration_round_trips_through_encoded_frames() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let key = LinkKey::from_seed(99);
+    let mut ap = AccessPoint::new(bssid(), Position::new(0.0, 0.0));
+    ap.handle_association_request(client()).unwrap();
+    let mut config_client = ConfigClient::new(client(), key);
+
+    // Step 1: client -> AP, as wire bytes.
+    let (request_frame, _) = config_client.build_request(&mut rng, bssid(), 3).unwrap();
+    let wire_request = request_frame.encode();
+    let decoded_request = Frame::decode(&wire_request).unwrap();
+    assert!(decoded_request.header().is_protected());
+
+    // Steps 2-4 on the AP, from the decoded frame's sealed payload.
+    let sealed_request = match decoded_request.payload() {
+        Payload::Sealed(s) => s.clone(),
+        other => panic!("expected a sealed payload, got {other:?}"),
+    };
+    let (sealed_response, response) =
+        ap_handle_request(&mut ap, &ApConfigPolicy::default(), &key, &mut rng, &sealed_request)
+            .unwrap();
+    assert_eq!(response.virtual_addrs.len(), 3);
+
+    // The response travels back as an encoded frame too.
+    let response_frame = Frame::protected_data(bssid(), client(), sealed_response);
+    let wire_response = response_frame.encode();
+    let decoded_response = Frame::decode(&wire_response).unwrap();
+    let sealed = match decoded_response.payload() {
+        Payload::Sealed(s) => s.clone(),
+        other => panic!("expected a sealed payload, got {other:?}"),
+    };
+    let vifs = config_client.accept_response(&sealed).unwrap();
+    assert_eq!(vifs.macs(), response.virtual_addrs);
+
+    // Both endpoints now agree: install a translation table and move a data
+    // frame through the full Fig. 3 path.
+    let mut table = TranslationTable::new();
+    table.install(client(), &vifs);
+    let downlink = Frame::data(bssid(), client(), vec![0u8; 1200]);
+    let on_air = table.translate_downlink(&downlink, VifIndex::new(1)).unwrap();
+    assert_eq!(on_air.header().dst(), vifs.macs()[1]);
+    assert_eq!(ap.resolve_physical(on_air.header().dst()), Some(client()));
+    let delivered = table.deliver_to_upper_layers(&on_air).unwrap();
+    assert_eq!(delivered.header().dst(), client());
+}
+
+#[test]
+fn an_eavesdropper_cannot_read_the_assigned_addresses_from_the_air() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let key = LinkKey::from_seed(7);
+    let mut ap = AccessPoint::new(bssid(), Position::new(0.0, 0.0));
+    ap.handle_association_request(client()).unwrap();
+    let mut config_client = ConfigClient::new(client(), key);
+
+    let (request_frame, _) = config_client.build_request(&mut rng, bssid(), 3).unwrap();
+    let sealed_request = match request_frame.payload() {
+        Payload::Sealed(s) => s.clone(),
+        _ => unreachable!(),
+    };
+    let (sealed_response, response) =
+        ap_handle_request(&mut ap, &ApConfigPolicy::default(), &key, &mut rng, &sealed_request)
+            .unwrap();
+
+    // The eavesdropper sees only ciphertext; none of the assigned virtual MAC
+    // addresses appear as a byte substring of either captured payload.
+    let captured: Vec<u8> = sealed_request
+        .ciphertext()
+        .iter()
+        .chain(sealed_response.ciphertext())
+        .copied()
+        .collect();
+    for addr in &response.virtual_addrs {
+        let needle = addr.octets();
+        let found = captured.windows(needle.len()).any(|w| w == needle);
+        assert!(!found, "virtual address {addr} leaked in cleartext");
+    }
+
+    // Without the link key the response cannot be opened at all.
+    let wrong_key = LinkKey::from_seed(8);
+    let mut eavesdropper_client = ConfigClient::new(client(), wrong_key);
+    let (_frame, _) = eavesdropper_client.build_request(&mut rng, bssid(), 3).unwrap();
+    assert!(eavesdropper_client.accept_response(&sealed_response).is_err());
+}

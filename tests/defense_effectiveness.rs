@@ -1,0 +1,116 @@
+//! Cross-crate integration test of the paper's headline claim: the classifier
+//! that identifies users' online activities on original traffic loses most of
+//! its accuracy against Orthogonal Reshaping, while naive partitioning (RR)
+//! barely helps.
+
+use classifier::dataset::Dataset;
+use classifier::ensemble::{AdversaryEnsemble, EnsembleConfig};
+use classifier::features::FEATURE_DIM;
+use classifier::window::{build_dataset, windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
+use traffic_reshaping::reshape::ranges::SizeRanges;
+use traffic_reshaping::reshape::reshaper::Reshaper;
+use traffic_reshaping::reshape::scheduler::{OrthogonalRanges, ReshapeAlgorithm, RoundRobin};
+use traffic_reshaping::traffic::app::AppKind;
+use traffic_reshaping::traffic::generator::SessionGenerator;
+use traffic_reshaping::traffic::trace::Trace;
+use wlan_sim::time::SimDuration;
+
+fn corpus(seed: u64, sessions: usize, secs: f64) -> Vec<Trace> {
+    AppKind::ALL
+        .iter()
+        .flat_map(|&app| SessionGenerator::new(app, seed).generate_sessions(sessions, secs))
+        .collect()
+}
+
+fn reshaped_dataset(
+    traces: &[Trace],
+    make_algorithm: impl Fn() -> Box<dyn ReshapeAlgorithm>,
+    window: SimDuration,
+) -> Dataset {
+    let mut dataset = Dataset::new(FEATURE_DIM);
+    for trace in traces {
+        let mut reshaper = Reshaper::new(make_algorithm());
+        for sub in reshaper.reshape(trace).sub_traces() {
+            for (features, label) in
+                windowed_examples(sub, window, DEFAULT_MIN_PACKETS, FeatureMode::Full)
+            {
+                dataset.push(features, label);
+            }
+        }
+    }
+    dataset
+}
+
+#[test]
+fn orthogonal_reshaping_halves_the_adversarys_mean_accuracy() {
+    let window = SimDuration::from_secs(5);
+    let training = corpus(10, 2, 60.0);
+    let evaluation = corpus(20, 1, 60.0);
+
+    let train_set = build_dataset(&training, window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
+    assert!(train_set.len() > 50, "training set too small: {}", train_set.len());
+    let adversary = AdversaryEnsemble::train(&train_set, &EnsembleConfig::default());
+
+    // Original traffic.
+    let eval_original = build_dataset(&evaluation, window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
+    let (_, original) = adversary.evaluate_best(&eval_original);
+
+    // Round-robin partitioning.
+    let eval_rr = reshaped_dataset(&evaluation, || Box::new(RoundRobin::new(3)), window);
+    let (_, round_robin) = adversary.evaluate_best(&eval_rr);
+
+    // Orthogonal Reshaping.
+    let eval_or = reshaped_dataset(
+        &evaluation,
+        || Box::new(OrthogonalRanges::new(SizeRanges::paper_default())),
+        window,
+    );
+    let (_, orthogonal) = adversary.evaluate_best(&eval_or);
+
+    let acc_original = original.mean_accuracy();
+    let acc_rr = round_robin.mean_accuracy();
+    let acc_or = orthogonal.mean_accuracy();
+
+    // Shape of Tables II/III: original is high, RR barely changes it, OR
+    // roughly halves it (or better).
+    assert!(acc_original > 0.7, "original accuracy {acc_original}");
+    assert!(
+        acc_rr > acc_or,
+        "round robin ({acc_rr}) should leave the adversary stronger than OR ({acc_or})"
+    );
+    assert!(
+        acc_or < acc_original * 0.75,
+        "OR should cut mean accuracy substantially: original {acc_original}, OR {acc_or}"
+    );
+}
+
+#[test]
+fn under_reshaping_false_positives_concentrate_on_small_and_large_packet_apps() {
+    // Table IV's mechanism: OR sub-flows look like chatting (small packets) or
+    // downloading (full-size packets), so those classes absorb wrong labels.
+    let window = SimDuration::from_secs(5);
+    let training = corpus(30, 2, 60.0);
+    let evaluation = corpus(40, 1, 60.0);
+    let adversary = AdversaryEnsemble::train(
+        &build_dataset(&training, window, DEFAULT_MIN_PACKETS, FeatureMode::Full),
+        &EnsembleConfig::default(),
+    );
+    let eval_or = reshaped_dataset(
+        &evaluation,
+        || Box::new(OrthogonalRanges::new(SizeRanges::paper_default())),
+        window,
+    );
+    let (_, matrix) = adversary.evaluate_best(&eval_or);
+
+    let fp = |app: AppKind| matrix.false_positive_rate(app.class_index());
+    let absorbers = fp(AppKind::Chatting) + fp(AppKind::Downloading) + fp(AppKind::Uploading)
+        + fp(AppKind::Video);
+    let others = fp(AppKind::Browsing) + fp(AppKind::Gaming) + fp(AppKind::BitTorrent);
+    assert!(
+        absorbers > others,
+        "the small/large-packet classes should absorb the misclassifications \
+         (absorbers {absorbers:.3} vs others {others:.3})"
+    );
+    // Mean FP under OR is clearly above the near-zero FP on original traffic.
+    assert!(matrix.mean_false_positive_rate() > 0.02);
+}

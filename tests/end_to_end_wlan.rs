@@ -1,0 +1,119 @@
+//! End-to-end integration test: application traffic → configuration protocol →
+//! reshaping → frames on the air → passive sniffer → per-device flows.
+//!
+//! This exercises every crate of the workspace in one pipeline and checks the
+//! paper's qualitative claims about what the eavesdropper observes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_reshaping::bridge;
+use traffic_reshaping::reshape::config::{run_configuration, ApConfigPolicy, ConfigClient};
+use traffic_reshaping::reshape::ranges::SizeRanges;
+use traffic_reshaping::reshape::reshaper::Reshaper;
+use traffic_reshaping::reshape::scheduler::OrthogonalRanges;
+use traffic_reshaping::traffic::app::AppKind;
+use traffic_reshaping::traffic::generator::SessionGenerator;
+use traffic_reshaping::wlan::ap::AccessPoint;
+use traffic_reshaping::wlan::channel::{Medium, Position};
+use traffic_reshaping::wlan::crypto::LinkKey;
+use traffic_reshaping::wlan::mac::MacAddress;
+use traffic_reshaping::wlan::phy::Channel;
+use traffic_reshaping::wlan::sniffer::Sniffer;
+use traffic_reshaping::wlan::station::Station;
+
+fn bssid() -> MacAddress {
+    MacAddress::new([0x00, 0x1f, 0x3a, 0, 0, 0xaa])
+}
+
+fn client_mac() -> MacAddress {
+    MacAddress::new([0x00, 0x16, 0x6f, 0, 0, 0x01])
+}
+
+/// Runs one client's BitTorrent session through the full stack and returns the
+/// sniffer after capturing everything.
+fn run_session(reshaping: bool) -> Sniffer {
+    let mut rng = StdRng::seed_from_u64(99);
+    let medium = Medium::default();
+    let mut ap = AccessPoint::new(bssid(), Position::new(0.0, 0.0));
+    let mut sniffer = Sniffer::new(Position::new(8.0, 3.0), bssid(), Channel::CH6);
+    let mut station = Station::new(client_mac(), Position::new(5.0, 1.0));
+
+    let (_, aid) = ap.handle_association_request(client_mac()).unwrap();
+    station.complete_association(aid);
+
+    let vifs = if reshaping {
+        let key = LinkKey::from_seed(5);
+        let mut config = ConfigClient::new(client_mac(), key);
+        let vifs = run_configuration(&mut config, &mut ap, &ApConfigPolicy::default(), &key, &mut rng, 3)
+            .expect("configuration succeeds for an associated station");
+        station.configure_virtual_addrs(&vifs.macs());
+        vifs
+    } else {
+        traffic_reshaping::reshape::vif::VirtualInterfaceSet::from_macs(&[client_mac()])
+    };
+
+    let trace = SessionGenerator::new(AppKind::BitTorrent, 3).generate_secs(20.0);
+    let interfaces = vifs.len().min(3);
+    let mut reshaper = Reshaper::new(Box::new(OrthogonalRanges::with_interfaces(
+        SizeRanges::paper_default(),
+        interfaces,
+    )));
+    for (time, frame) in bridge::trace_to_frames(&trace, &mut reshaper, &vifs, client_mac(), bssid()) {
+        let from_ap = frame.header().src() == bssid();
+        let (pos, power) = if from_ap {
+            (ap.position(), ap.tx_power_dbm())
+        } else {
+            (station.position(), station.tx_power_dbm())
+        };
+        sniffer.observe(time, &frame, pos, power, Channel::CH6, &medium, &mut rng);
+        // The station accepts every downlink frame addressed to any of its
+        // virtual interfaces and translates it back to the physical address.
+        if from_ap {
+            let delivered = station.receive(&frame).expect("frame addressed to this station");
+            assert_eq!(delivered.header().dst(), client_mac());
+        }
+    }
+    sniffer
+}
+
+#[test]
+fn without_reshaping_the_sniffer_sees_one_device_with_the_app_signature() {
+    let sniffer = run_session(false);
+    let flows = sniffer.flows_by_device();
+    assert_eq!(flows.len(), 1, "one client, one MAC address");
+    let flow = flows.values().next().unwrap();
+    let mean = flow.iter().map(|c| c.size).sum::<usize>() as f64 / flow.len() as f64;
+    // BitTorrent's characteristic mean packet size (Table I: ~962 B).
+    assert!((700.0..1300.0).contains(&mean), "mean {mean}");
+}
+
+#[test]
+fn with_reshaping_the_sniffer_sees_three_devices_with_alien_signatures() {
+    let sniffer = run_session(true);
+    let flows = sniffer.flows_by_device();
+    assert_eq!(flows.len(), 3, "three virtual interfaces, three apparent devices");
+    let mut means: Vec<f64> = flows
+        .values()
+        .map(|flow| flow.iter().map(|c| c.size).sum::<usize>() as f64 / flow.len() as f64)
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Paper Table I / Fig. 4: small-, medium- and large-packet interfaces.
+    assert!(means[0] < 250.0, "small interface mean {}", means[0]);
+    assert!(means[2] > 1500.0, "large interface mean {}", means[2]);
+    // None of the observed flows carries the original BitTorrent signature.
+    for mean in &means {
+        assert!(
+            !(900.0..1100.0).contains(mean),
+            "a virtual interface still looks like BitTorrent ({mean})"
+        );
+    }
+    // Physical MAC address never appears on the air as a data-frame endpoint.
+    assert!(!flows.contains_key(&client_mac()));
+}
+
+#[test]
+fn total_captured_bytes_are_identical_with_and_without_reshaping() {
+    let without: usize = run_session(false).captures().iter().map(|c| c.size).sum();
+    let with: usize = run_session(true).captures().iter().map(|c| c.size).sum();
+    assert_eq!(without, with, "traffic reshaping must not add a single byte");
+}
