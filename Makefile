@@ -1,0 +1,28 @@
+# Local targets mirroring the CI jobs so local and CI runs are identical.
+
+.PHONY: verify build test fmt lint bench-compile examples ci
+
+# The tier-1 gate: exactly what the driver and the CI `test` job run.
+verify:
+	cargo build --release && cargo test -q
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test --workspace
+
+fmt:
+	cargo fmt --all --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+bench-compile:
+	cargo bench --no-run --workspace
+
+examples:
+	cargo build --examples
+
+# Everything CI gates on, in one shot.
+ci: fmt lint verify test bench-compile examples

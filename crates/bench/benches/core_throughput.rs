@@ -6,9 +6,13 @@ use classifier::features::FeatureVector;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
-use reshape_core::scheduler::{OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin};
+use reshape_core::scheduler::{
+    OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin,
+};
 use traffic_gen::app::AppKind;
 use traffic_gen::generator::SessionGenerator;
+
+type AlgorithmFactory = Box<dyn Fn() -> Box<dyn ReshapeAlgorithm>>;
 
 fn bench_schedulers(c: &mut Criterion) {
     let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(60.0);
@@ -16,11 +20,26 @@ fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_throughput");
     group.throughput(Throughput::Elements(packets));
     group.sample_size(20);
-    let algorithms: Vec<(&str, Box<dyn Fn() -> Box<dyn ReshapeAlgorithm>>)> = vec![
-        ("RA", Box::new(|| Box::new(RandomAssign::new(3, 7)) as Box<dyn ReshapeAlgorithm>)),
-        ("RR", Box::new(|| Box::new(RoundRobin::new(3)) as Box<dyn ReshapeAlgorithm>)),
-        ("OR", Box::new(|| Box::new(OrthogonalRanges::new(SizeRanges::paper_default())) as Box<dyn ReshapeAlgorithm>)),
-        ("OR-mod", Box::new(|| Box::new(OrthogonalModulo::new(3)) as Box<dyn ReshapeAlgorithm>)),
+    let algorithms: Vec<(&str, AlgorithmFactory)> = vec![
+        (
+            "RA",
+            Box::new(|| Box::new(RandomAssign::new(3, 7)) as Box<dyn ReshapeAlgorithm>),
+        ),
+        (
+            "RR",
+            Box::new(|| Box::new(RoundRobin::new(3)) as Box<dyn ReshapeAlgorithm>),
+        ),
+        (
+            "OR",
+            Box::new(|| {
+                Box::new(OrthogonalRanges::new(SizeRanges::paper_default()))
+                    as Box<dyn ReshapeAlgorithm>
+            }),
+        ),
+        (
+            "OR-mod",
+            Box::new(|| Box::new(OrthogonalModulo::new(3)) as Box<dyn ReshapeAlgorithm>),
+        ),
     ];
     for (name, make) in algorithms {
         group.bench_function(name, |b| {

@@ -9,7 +9,12 @@ fn bench_table5(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_interfaces");
     group.sample_size(10);
     group.bench_function("interface_sweep_2_3_5", |b| {
-        b.iter(|| table5(std::hint::black_box(&config), std::hint::black_box(&[2, 3, 5])))
+        b.iter(|| {
+            table5(
+                std::hint::black_box(&config),
+                std::hint::black_box(&[2, 3, 5]),
+            )
+        })
     });
     group.finish();
 }

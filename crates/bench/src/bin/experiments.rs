@@ -13,7 +13,9 @@ use bench::corpus::ExperimentConfig;
 use bench::figures::{figure1, figure4, figure5, OrFigure};
 use bench::power::power_analysis;
 use bench::report::{bytes, percent, raw_percent, seconds, TextTable};
-use bench::tables::{combined_defense, table1, table2, table3, table4, table5, table6, AccuracyTable};
+use bench::tables::{
+    combined_defense, table1, table2, table3, table4, table5, table6, AccuracyTable,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,10 +52,16 @@ fn main() {
         print_figure1(&config5);
     }
     if wants("fig4") {
-        print_or_figure("Figure 4 — OR schedules BitTorrent by packet-size ranges", &figure4(config5.eval_seed, config5.eval_session_secs));
+        print_or_figure(
+            "Figure 4 — OR schedules BitTorrent by packet-size ranges",
+            &figure4(config5.eval_seed, config5.eval_session_secs),
+        );
     }
     if wants("fig5") {
-        print_or_figure("Figure 5 — OR schedules BitTorrent by packet size modulo I", &figure5(config5.eval_seed, config5.eval_session_secs));
+        print_or_figure(
+            "Figure 5 — OR schedules BitTorrent by packet size modulo I",
+            &figure5(config5.eval_seed, config5.eval_session_secs),
+        );
     }
     if wants("table1") {
         print_table1(&config5);
@@ -71,7 +79,10 @@ fn main() {
     }
     if wants("table5") {
         let table = table5(&config5, &[2, 3, 5]);
-        print_accuracy_table("Table V — OR accuracy vs. number of virtual interfaces", &table);
+        print_accuracy_table(
+            "Table V — OR accuracy vs. number of virtual interfaces",
+            &table,
+        );
     }
     if wants("table6") {
         print_table6(&config5);
@@ -89,7 +100,10 @@ fn main() {
 
 fn print_ablation(config: &ExperimentConfig) {
     use bench::ablation::{interface_count_ablation, scheduler_ablation};
-    println!("Ablation — scheduling flavour (I = 3, W = {}s)", config.window_secs);
+    println!(
+        "Ablation — scheduling flavour (I = 3, W = {}s)",
+        config.window_secs
+    );
     let mut table = TextTable::new(["variant", "mean accuracy (%)", "mean FP (%)"]);
     for outcome in scheduler_ablation(config) {
         table.row([
@@ -171,9 +185,7 @@ fn print_or_figure(title: &str, figure: &OrFigure) {
 
 fn print_table1(config: &ExperimentConfig) {
     println!("Table I — features on virtual interfaces (from AP to the user)");
-    let mut table = TextTable::new([
-        "App.", "Feature", "Original", "i = 1", "i = 2", "i = 3",
-    ]);
+    let mut table = TextTable::new(["App.", "Feature", "Original", "i = 1", "i = 2", "i = 3"]);
     for row in table1(config) {
         table.row([
             row.app.abbrev().to_string(),
@@ -248,7 +260,10 @@ fn print_table4(config5: &ExperimentConfig, config60: &ExperimentConfig) {
 }
 
 fn print_table6(config: &ExperimentConfig) {
-    println!("Table VI — efficiency comparison (W = {}s)", config.window_secs);
+    println!(
+        "Table VI — efficiency comparison (W = {}s)",
+        config.window_secs
+    );
     let t = table6(config);
     let mut table = TextTable::new([
         "App.",
@@ -297,7 +312,11 @@ fn print_combined(config: &ExperimentConfig) {
     println!("Section V-C — traffic reshaping combined with morphing");
     let result = combined_defense(config);
     let mut table = TextTable::new(["defense", "mean accuracy (%)", "overhead (%)"]);
-    table.row(["OR alone".to_string(), percent(result.or_accuracy), "0.00".to_string()]);
+    table.row([
+        "OR alone".to_string(),
+        percent(result.or_accuracy),
+        "0.00".to_string(),
+    ]);
     table.row([
         "OR + morphing (interface 1 -> gaming)".to_string(),
         percent(result.combined_accuracy),

@@ -70,7 +70,11 @@ impl ExperimentConfig {
 
     /// Generates the training corpus: `train_sessions` labelled traces per application.
     pub fn training_corpus(&self) -> Vec<Trace> {
-        corpus(self.train_seed, self.train_sessions, self.train_session_secs)
+        corpus(
+            self.train_seed,
+            self.train_sessions,
+            self.train_session_secs,
+        )
     }
 
     /// Generates the evaluation corpus: `eval_sessions` labelled traces per application.

@@ -47,7 +47,8 @@ pub fn figure1(seed: u64, session_secs: f64) -> Vec<AppSizePdf> {
                 let bin = (size / FIGURE_BIN_WIDTH).min(cdf.len() - 1);
                 cdf[bin]
             };
-            let small = sizes.iter().filter(|s| **s <= 232).count() as f64 / sizes.len().max(1) as f64;
+            let small =
+                sizes.iter().filter(|s| **s <= 232).count() as f64 / sizes.len().max(1) as f64;
             let large =
                 sizes.iter().filter(|s| **s >= 1546).count() as f64 / sizes.len().max(1) as f64;
             AppSizePdf {
@@ -85,7 +86,7 @@ pub struct InterfaceSeries {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OrFigure {
     /// Which scheduling rule produced it ("OR" for Fig. 4, "OR-mod" for Fig. 5).
-    pub algorithm: &'static str,
+    pub algorithm: String,
     /// The original traffic's series (interface number 0).
     pub original: InterfaceSeries,
     /// One series per virtual interface.
@@ -116,7 +117,7 @@ fn series_of(interface: usize, trace: &Trace) -> InterfaceSeries {
 fn or_figure(algorithm: Box<dyn ReshapeAlgorithm>, seed: u64, session_secs: f64) -> OrFigure {
     let trace = SessionGenerator::new(AppKind::BitTorrent, seed).generate_secs(session_secs);
     let mut reshaper = Reshaper::new(algorithm);
-    let name = reshaper.algorithm_name();
+    let name = reshaper.algorithm_name().to_string();
     let outcome = reshaper.reshape(&trace);
     OrFigure {
         algorithm: name,
@@ -190,8 +191,18 @@ mod tests {
         for series in &fig.interfaces {
             assert!(series.packets > 0);
             // Unlike Fig. 4, each interface sees both small and large packets.
-            assert!(series.min_size <= 300, "interface {} min {}", series.interface, series.min_size);
-            assert!(series.max_size >= 1500, "interface {} max {}", series.interface, series.max_size);
+            assert!(
+                series.min_size <= 300,
+                "interface {} min {}",
+                series.interface,
+                series.min_size
+            );
+            assert!(
+                series.max_size >= 1500,
+                "interface {} max {}",
+                series.interface,
+                series.max_size
+            );
         }
     }
 }

@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
-use reshape_core::scheduler::{OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin};
+use reshape_core::scheduler::{
+    OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin,
+};
 use serde::{Deserialize, Serialize};
 use traffic_gen::app::AppKind;
 use traffic_gen::generator::SessionGenerator;
@@ -99,7 +101,12 @@ pub fn train_adversary(config: &ExperimentConfig, mode: FeatureMode) -> Adversar
 /// Applies a defense to one labelled trace, returning the sub-flows the
 /// adversary observes. Each sub-flow keeps the ground-truth label so the
 /// evaluation can score predictions.
-pub fn apply_defense(trace: &Trace, defense: DefenseKind, config: &ExperimentConfig, seed: u64) -> Vec<Trace> {
+pub fn apply_defense(
+    trace: &Trace,
+    defense: DefenseKind,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Vec<Trace> {
     match defense {
         DefenseKind::None => vec![trace.clone()],
         DefenseKind::FrequencyHopping => FrequencyHopper::default()
@@ -107,8 +114,12 @@ pub fn apply_defense(trace: &Trace, defense: DefenseKind, config: &ExperimentCon
             .into_iter()
             .map(|(_, t)| t)
             .collect(),
-        DefenseKind::Random => reshape_with(Box::new(RandomAssign::new(config.interfaces, seed)), trace),
-        DefenseKind::RoundRobin => reshape_with(Box::new(RoundRobin::new(config.interfaces)), trace),
+        DefenseKind::Random => {
+            reshape_with(Box::new(RandomAssign::new(config.interfaces, seed)), trace)
+        }
+        DefenseKind::RoundRobin => {
+            reshape_with(Box::new(RoundRobin::new(config.interfaces)), trace)
+        }
         DefenseKind::Orthogonal => reshape_with(
             Box::new(OrthogonalRanges::new(
                 SizeRanges::for_interface_count(config.interfaces)
@@ -131,17 +142,22 @@ pub fn apply_defense(trace: &Trace, defense: DefenseKind, config: &ExperimentCon
         DefenseKind::Morphing => {
             let app = trace.app().expect("evaluation traces are labelled");
             let target_app = paper_morphing_target(app);
-            let target_trace =
-                SessionGenerator::new(target_app, seed ^ 0xfeed).generate_secs(config.train_session_secs);
-            vec![TrafficMorpher::from_target_trace(target_app, &target_trace)
-                .apply(trace)
-                .0]
+            let target_trace = SessionGenerator::new(target_app, seed ^ 0xfeed)
+                .generate_secs(config.train_session_secs);
+            vec![
+                TrafficMorpher::from_target_trace(target_app, &target_trace)
+                    .apply(trace)
+                    .0,
+            ]
         }
     }
 }
 
 fn reshape_with(algorithm: Box<dyn ReshapeAlgorithm>, trace: &Trace) -> Vec<Trace> {
-    Reshaper::new(algorithm).reshape(trace).sub_traces().to_vec()
+    Reshaper::new(algorithm)
+        .reshape(trace)
+        .sub_traces()
+        .to_vec()
 }
 
 /// Evaluates one defense: the adversary classifies every window of every
@@ -223,7 +239,11 @@ mod tests {
         ] {
             let observed = apply_defense(&trace, defense, &config, 1);
             let total: usize = observed.iter().map(Trace::len).sum();
-            assert_eq!(total, trace.len(), "{defense:?} must not add or drop packets");
+            assert_eq!(
+                total,
+                trace.len(),
+                "{defense:?} must not add or drop packets"
+            );
         }
         // Padding and morphing keep the packet count but may grow bytes.
         for defense in [DefenseKind::Padding, DefenseKind::Morphing] {
@@ -239,9 +259,18 @@ mod tests {
         let config = ExperimentConfig::quick();
         let adversary = train_adversary(&config, FeatureMode::Full);
         let eval = config.evaluation_corpus();
-        let matrix = evaluate_defense(&adversary, &eval, DefenseKind::None, &config, FeatureMode::Full);
+        let matrix = evaluate_defense(
+            &adversary,
+            &eval,
+            DefenseKind::None,
+            &config,
+            FeatureMode::Full,
+        );
         let acc = matrix.mean_accuracy();
-        assert!(acc > 0.5, "mean accuracy on original traffic {acc} should beat chance (1/7)");
+        assert!(
+            acc > 0.5,
+            "mean accuracy on original traffic {acc} should beat chance (1/7)"
+        );
     }
 
     #[test]
@@ -249,12 +278,26 @@ mod tests {
         let config = ExperimentConfig::quick();
         let results = run_defense_comparison(
             &config,
-            &[DefenseKind::None, DefenseKind::RoundRobin, DefenseKind::Orthogonal],
+            &[
+                DefenseKind::None,
+                DefenseKind::RoundRobin,
+                DefenseKind::Orthogonal,
+            ],
             FeatureMode::Full,
         );
         let acc: Vec<f64> = results.iter().map(|(_, m)| m.mean_accuracy()).collect();
         // Original >= RR accuracy >= OR accuracy (with a small tolerance for noise).
-        assert!(acc[0] > acc[2], "original {} must beat OR {}", acc[0], acc[2]);
-        assert!(acc[1] > acc[2] - 0.05, "RR {} should not be (much) worse than OR {}", acc[1], acc[2]);
+        assert!(
+            acc[0] > acc[2],
+            "original {} must beat OR {}",
+            acc[0],
+            acc[2]
+        );
+        assert!(
+            acc[1] > acc[2] - 0.05,
+            "RR {} should not be (much) worse than OR {}",
+            acc[1],
+            acc[2]
+        );
     }
 }

@@ -56,9 +56,10 @@ pub fn power_analysis(
     let nominal_power = 15.0;
     let signatures: Vec<f64> = (0..stations)
         .map(|s| {
-            medium
-                .path_loss()
-                .mean_rssi_dbm(nominal_power, station_position(s).distance_to(&sniffer_position))
+            medium.path_loss().mean_rssi_dbm(
+                nominal_power,
+                station_position(s).distance_to(&sniffer_position),
+            )
         })
         .collect();
 
@@ -83,7 +84,10 @@ pub fn power_analysis(
                         .iter()
                         .enumerate()
                         .min_by(|(_, a), (_, b)| {
-                            (rssi - **a).abs().partial_cmp(&(rssi - **b).abs()).expect("finite")
+                            (rssi - **a)
+                                .abs()
+                                .partial_cmp(&(rssi - **b).abs())
+                                .expect("finite")
                         })
                         .map(|(i, _)| i)
                         .expect("at least one station");

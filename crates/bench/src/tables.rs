@@ -49,8 +49,7 @@ pub fn table1(config: &ExperimentConfig) -> Vec<FeatureRow> {
                 trace.packets_in(Direction::Downlink).copied().collect(),
             );
             let mut reshaper = Reshaper::new(Box::new(OrthogonalRanges::new(
-                SizeRanges::for_interface_count(config.interfaces)
-                    .expect("valid interface count"),
+                SizeRanges::for_interface_count(config.interfaces).expect("valid interface count"),
             )));
             let outcome = reshaper.reshape(&downlink);
             let stats = |t: &Trace| {
@@ -127,7 +126,8 @@ impl AccuracyTable {
 /// Tables II and III: classification accuracy of the original traffic and of
 /// FH / RA / RR / OR, for the eavesdropping window of `config`.
 pub fn accuracy_table(config: &ExperimentConfig) -> AccuracyTable {
-    let results = pipeline::run_defense_comparison(config, &DefenseKind::TABLE23, FeatureMode::Full);
+    let results =
+        pipeline::run_defense_comparison(config, &DefenseKind::TABLE23, FeatureMode::Full);
     AccuracyTable::from_matrices(
         config.window_secs,
         results
@@ -324,7 +324,10 @@ pub fn table6(config: &ExperimentConfig) -> EfficiencyTable {
     }
     let n = rows.len() as f64;
     let mean = (
-        rows.iter().map(|r| r.accuracy_padding_morphing).sum::<f64>() / n,
+        rows.iter()
+            .map(|r| r.accuracy_padding_morphing)
+            .sum::<f64>()
+            / n,
         rows.iter().map(|r| r.accuracy_reshaping).sum::<f64>() / n,
         rows.iter().map(|r| r.padding_overhead).sum::<f64>() / n,
         rows.iter().map(|r| r.morphing_overhead).sum::<f64>() / n,
@@ -440,7 +443,10 @@ mod tests {
         assert_eq!(table.mean.len(), 5);
         let original = table.mean_of("Original").unwrap();
         let or = table.mean_of("OR").unwrap();
-        assert!(original > or, "OR must reduce mean accuracy ({original} vs {or})");
+        assert!(
+            original > or,
+            "OR must reduce mean accuracy ({original} vs {or})"
+        );
         assert!(table.accuracy(AppKind::Downloading, "Original").unwrap() > 0.5);
     }
 
@@ -448,8 +454,12 @@ mod tests {
     fn table4_false_positives_increase_under_or() {
         let table = table4(&quick());
         assert_eq!(table.rows.len(), 7);
-        assert!(table.mean.1 >= table.mean.0,
-            "OR should raise the mean false-positive rate ({} vs {})", table.mean.1, table.mean.0);
+        assert!(
+            table.mean.1 >= table.mean.0,
+            "OR should raise the mean false-positive rate ({} vs {})",
+            table.mean.1,
+            table.mean.0
+        );
     }
 
     #[test]
@@ -457,11 +467,21 @@ mod tests {
         let table = table6(&quick());
         assert_eq!(table.rows.len(), 7);
         let (acc_pad, acc_or, pad_overhead, morph_overhead) = table.mean;
-        assert!(pad_overhead > morph_overhead, "padding {pad_overhead} > morphing {morph_overhead}");
+        assert!(
+            pad_overhead > morph_overhead,
+            "padding {pad_overhead} > morphing {morph_overhead}"
+        );
         assert!(pad_overhead > 50.0);
-        assert!(acc_pad > acc_or, "timing attack on padding ({acc_pad}) beats attack on OR ({acc_or})");
+        assert!(
+            acc_pad > acc_or,
+            "timing attack on padding ({acc_pad}) beats attack on OR ({acc_or})"
+        );
         // Downloading is already MTU-sized: negligible padding overhead.
-        let download = table.rows.iter().find(|r| r.app == AppKind::Downloading).unwrap();
+        let download = table
+            .rows
+            .iter()
+            .find(|r| r.app == AppKind::Downloading)
+            .unwrap();
         assert!(download.padding_overhead < 40.0);
     }
 }

@@ -27,7 +27,10 @@ impl GaussianNaiveBayes {
     ///
     /// Panics if the dataset is empty.
     pub fn train(data: &Dataset) -> Self {
-        assert!(!data.is_empty(), "cannot train naive Bayes on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot train naive Bayes on an empty dataset"
+        );
         let classes = data.class_count();
         let dim = data.dim();
         let mut counts = vec![0usize; classes];

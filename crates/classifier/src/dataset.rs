@@ -68,11 +68,7 @@ impl Dataset {
 
     /// The number of distinct classes (`max label + 1`, 0 when empty).
     pub fn class_count(&self) -> usize {
-        self.examples
-            .iter()
-            .map(|e| e.label + 1)
-            .max()
-            .unwrap_or(0)
+        self.examples.iter().map(|e| e.label + 1).max().unwrap_or(0)
     }
 
     /// Number of examples per label.

@@ -53,12 +53,23 @@ impl AdversaryEnsemble {
     ///
     /// Panics if the training set is empty.
     pub fn train(training: &Dataset, config: &EnsembleConfig) -> Self {
-        assert!(!training.is_empty(), "cannot train the adversary on an empty dataset");
+        assert!(
+            !training.is_empty(),
+            "cannot train the adversary on an empty dataset"
+        );
         let normalizer = training.fit_normalizer();
         let normalized = training.normalized(&normalizer);
         let mut classifiers: Vec<Box<dyn Classifier>> = Vec::new();
-        classifiers.push(Box::new(LinearSvm::train(&normalized, &config.svm, config.seed)));
-        classifiers.push(Box::new(NeuralNet::train(&normalized, &config.nn, config.seed ^ 0x55)));
+        classifiers.push(Box::new(LinearSvm::train(
+            &normalized,
+            &config.svm,
+            config.seed,
+        )));
+        classifiers.push(Box::new(NeuralNet::train(
+            &normalized,
+            &config.nn,
+            config.seed ^ 0x55,
+        )));
         if config.include_bayes {
             classifiers.push(Box::new(GaussianNaiveBayes::train(&normalized)));
         }
@@ -150,7 +161,10 @@ mod tests {
         let centers = [[0.0, 0.0, 0.0], [8.0, 0.0, 4.0], [0.0, 8.0, -4.0]];
         for (label, c) in centers.iter().enumerate() {
             for _ in 0..60 {
-                let f: Vec<f64> = c.iter().map(|m| m + rng.gen_range(-spread..spread)).collect();
+                let f: Vec<f64> = c
+                    .iter()
+                    .map(|m| m + rng.gen_range(-spread..spread))
+                    .collect();
                 data.push(f, label);
             }
         }
@@ -166,7 +180,11 @@ mod tests {
         assert_eq!(ensemble.member_names(), vec!["svm", "nn", "naive-bayes"]);
         let (name, matrix) = ensemble.evaluate_best(&test);
         assert!(["svm", "nn", "naive-bayes"].contains(&name));
-        assert!(matrix.mean_accuracy() > 0.9, "mean accuracy {}", matrix.mean_accuracy());
+        assert!(
+            matrix.mean_accuracy() > 0.9,
+            "mean accuracy {}",
+            matrix.mean_accuracy()
+        );
     }
 
     #[test]

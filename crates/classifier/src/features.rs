@@ -50,10 +50,7 @@ impl FeatureVector {
     pub fn from_trace(trace: &Trace) -> Self {
         let mut values = Vec::with_capacity(FEATURE_DIM);
         for direction in Direction::ALL {
-            let sizes: Vec<f64> = trace
-                .packets_in(direction)
-                .map(|p| p.size as f64)
-                .collect();
+            let sizes: Vec<f64> = trace.packets_in(direction).map(|p| p.size as f64).collect();
             let size_stats = SummaryStats::from_samples(&sizes);
             let gaps = trace.interarrival_secs(direction, IDLE_GAP_SECS);
             let gap_stats = SummaryStats::from_samples(&gaps);

@@ -54,8 +54,11 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, true_label: usize, predicted: usize) {
-        assert!(true_label < self.classes && predicted < self.classes,
-            "label out of range: true {true_label}, predicted {predicted}, classes {}", self.classes);
+        assert!(
+            true_label < self.classes && predicted < self.classes,
+            "label out of range: true {true_label}, predicted {predicted}, classes {}",
+            self.classes
+        );
         self.counts[true_label][predicted] += 1;
     }
 
@@ -159,7 +162,12 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, {} instances):", self.classes, self.total())?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, {} instances):",
+            self.classes,
+            self.total()
+        )?;
         for (t, row) in self.counts.iter().enumerate() {
             write!(f, "  true {t}:")?;
             for c in row {

@@ -53,7 +53,10 @@ impl NeuralNet {
     ///
     /// Panics if the dataset is empty.
     pub fn train(data: &Dataset, config: &NnConfig, seed: u64) -> Self {
-        assert!(!data.is_empty(), "cannot train a network on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot train a network on an empty dataset"
+        );
         let dim = data.dim();
         let classes = data.class_count();
         let hidden = config.hidden_units.max(1);
@@ -67,7 +70,11 @@ impl NeuralNet {
                 .collect(),
             b1: vec![0.0; hidden],
             w2: (0..classes)
-                .map(|_| (0..hidden).map(|_| rng.gen_range(-scale2..scale2)).collect())
+                .map(|_| {
+                    (0..hidden)
+                        .map(|_| rng.gen_range(-scale2..scale2))
+                        .collect()
+                })
                 .collect(),
             b2: vec![0.0; classes],
         };
@@ -99,10 +106,11 @@ impl NeuralNet {
                         if hidden_out[h] <= 0.0 {
                             continue;
                         }
-                        let mut d = 0.0;
-                        for c in 0..classes {
-                            d += delta_out[c] * net.w2[c][h];
-                        }
+                        let d: f64 = delta_out
+                            .iter()
+                            .zip(&net.w2)
+                            .map(|(dc, w2c)| dc * w2c[h])
+                            .sum();
                         for (g, x) in gw1[h].iter_mut().zip(&ex.features) {
                             *g += d * x;
                         }
@@ -110,17 +118,21 @@ impl NeuralNet {
                     }
                 }
                 let step = config.learning_rate / batch.len() as f64;
-                for h in 0..hidden {
-                    for d in 0..dim {
-                        net.w1[h][d] -= step * gw1[h][d];
+                for (row, grad_row) in net.w1.iter_mut().zip(&gw1) {
+                    for (w, g) in row.iter_mut().zip(grad_row) {
+                        *w -= step * g;
                     }
-                    net.b1[h] -= step * gb1[h];
                 }
-                for c in 0..classes {
-                    for h in 0..hidden {
-                        net.w2[c][h] -= step * gw2[c][h];
+                for (b, g) in net.b1.iter_mut().zip(&gb1) {
+                    *b -= step * g;
+                }
+                for (row, grad_row) in net.w2.iter_mut().zip(&gw2) {
+                    for (w, g) in row.iter_mut().zip(grad_row) {
+                        *w -= step * g;
                     }
-                    net.b2[c] -= step * gb2[c];
+                }
+                for (b, g) in net.b2.iter_mut().zip(&gb2) {
+                    *b -= step * g;
                 }
             }
         }
@@ -211,7 +223,14 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let data = ring_dataset(3);
-        let nn = NeuralNet::train(&data, &NnConfig { epochs: 10, ..NnConfig::default() }, 4);
+        let nn = NeuralNet::train(
+            &data,
+            &NnConfig {
+                epochs: 10,
+                ..NnConfig::default()
+            },
+            4,
+        );
         let p = nn.probabilities(&[0.5, -0.5]);
         assert_eq!(p.len(), 2);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -221,7 +240,10 @@ mod tests {
     #[test]
     fn training_is_deterministic_given_a_seed() {
         let data = ring_dataset(5);
-        let cfg = NnConfig { epochs: 5, ..NnConfig::default() };
+        let cfg = NnConfig {
+            epochs: 5,
+            ..NnConfig::default()
+        };
         let a = NeuralNet::train(&data, &cfg, 9);
         let b = NeuralNet::train(&data, &cfg, 9);
         assert_eq!(a, b);

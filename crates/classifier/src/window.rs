@@ -98,13 +98,9 @@ mod tests {
     fn unlabelled_traces_are_skipped() {
         let mut trace = SessionGenerator::new(AppKind::Video, 1).generate_secs(10.0);
         trace.set_app(None);
-        assert!(windowed_examples(
-            &trace,
-            SimDuration::from_secs(5),
-            1,
-            FeatureMode::Full
-        )
-        .is_empty());
+        assert!(
+            windowed_examples(&trace, SimDuration::from_secs(5), 1, FeatureMode::Full).is_empty()
+        );
     }
 
     #[test]
@@ -134,8 +130,12 @@ mod tests {
     fn timing_only_mode_zeroes_size_columns() {
         let trace = SessionGenerator::new(AppKind::Downloading, 2).generate_secs(20.0);
         let full = windowed_examples(&trace, SimDuration::from_secs(5), 2, FeatureMode::Full);
-        let timing =
-            windowed_examples(&trace, SimDuration::from_secs(5), 2, FeatureMode::TimingOnly);
+        let timing = windowed_examples(
+            &trace,
+            SimDuration::from_secs(5),
+            2,
+            FeatureMode::TimingOnly,
+        );
         assert_eq!(full.len(), timing.len());
         // Column 3 is the downlink mean size.
         assert!(full[0].0[3] > 1000.0);

@@ -24,8 +24,18 @@ fn corpus(seed: u64, sessions: usize, secs: f64) -> Vec<Trace> {
 #[test]
 fn adversary_identifies_held_out_original_traffic() {
     let window = SimDuration::from_secs(5);
-    let train = build_dataset(&corpus(1, 3, 90.0), window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
-    let test = build_dataset(&corpus(2, 1, 90.0), window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
+    let train = build_dataset(
+        &corpus(1, 3, 90.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::Full,
+    );
+    let test = build_dataset(
+        &corpus(2, 1, 90.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::Full,
+    );
     assert!(train.len() > 100);
     assert!(test.len() > 30);
 
@@ -53,8 +63,18 @@ fn misclassifications_mostly_stay_within_the_full_size_pair() {
     // adversary errs on them it should confuse them with each other rather
     // than with small-packet applications.
     let window = SimDuration::from_secs(5);
-    let train = build_dataset(&corpus(5, 3, 90.0), window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
-    let test = build_dataset(&corpus(6, 1, 90.0), window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
+    let train = build_dataset(
+        &corpus(5, 3, 90.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::Full,
+    );
+    let test = build_dataset(
+        &corpus(6, 1, 90.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::Full,
+    );
     let adversary = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
     let (_, matrix) = adversary.evaluate_best(&test);
 
@@ -80,10 +100,18 @@ fn timing_only_features_still_separate_rate_distinct_applications() {
     // Table VI's premise: even with all size features zeroed, packet counts and
     // inter-arrival statistics distinguish fast flows from slow ones.
     let window = SimDuration::from_secs(5);
-    let train =
-        build_dataset(&corpus(9, 3, 90.0), window, DEFAULT_MIN_PACKETS, FeatureMode::TimingOnly);
-    let test =
-        build_dataset(&corpus(10, 1, 90.0), window, DEFAULT_MIN_PACKETS, FeatureMode::TimingOnly);
+    let train = build_dataset(
+        &corpus(9, 3, 90.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::TimingOnly,
+    );
+    let test = build_dataset(
+        &corpus(10, 1, 90.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::TimingOnly,
+    );
     let adversary = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
     let (_, matrix) = adversary.evaluate_best(&test);
     assert!(
@@ -99,7 +127,12 @@ fn timing_only_features_still_separate_rate_distinct_applications() {
 #[test]
 fn stratified_split_keeps_training_and_evaluation_disjoint_yet_balanced() {
     let window = SimDuration::from_secs(5);
-    let all = build_dataset(&corpus(20, 2, 60.0), window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
+    let all = build_dataset(
+        &corpus(20, 2, 60.0),
+        window,
+        DEFAULT_MIN_PACKETS,
+        FeatureMode::Full,
+    );
     let mut rng = StdRng::seed_from_u64(1);
     let (train, test) = all.stratified_split(&mut rng, 0.3);
     assert_eq!(train.len() + test.len(), all.len());

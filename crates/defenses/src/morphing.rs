@@ -135,11 +135,20 @@ mod tests {
     fn paper_pairing_is_a_partial_cycle() {
         assert_eq!(paper_morphing_target(AppKind::Chatting), AppKind::Gaming);
         assert_eq!(paper_morphing_target(AppKind::Gaming), AppKind::Browsing);
-        assert_eq!(paper_morphing_target(AppKind::Browsing), AppKind::BitTorrent);
+        assert_eq!(
+            paper_morphing_target(AppKind::Browsing),
+            AppKind::BitTorrent
+        );
         assert_eq!(paper_morphing_target(AppKind::BitTorrent), AppKind::Video);
         assert_eq!(paper_morphing_target(AppKind::Video), AppKind::Downloading);
-        assert_eq!(paper_morphing_target(AppKind::Downloading), AppKind::Downloading);
-        assert_eq!(paper_morphing_target(AppKind::Uploading), AppKind::Uploading);
+        assert_eq!(
+            paper_morphing_target(AppKind::Downloading),
+            AppKind::Downloading
+        );
+        assert_eq!(
+            paper_morphing_target(AppKind::Uploading),
+            AppKind::Uploading
+        );
     }
 
     #[test]

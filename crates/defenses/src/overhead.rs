@@ -78,7 +78,9 @@ mod tests {
             sizes
                 .iter()
                 .enumerate()
-                .map(|(i, &s)| PacketRecord::at_secs(i as f64, s, Direction::Downlink, AppKind::Browsing))
+                .map(|(i, &s)| {
+                    PacketRecord::at_secs(i as f64, s, Direction::Downlink, AppKind::Browsing)
+                })
                 .collect(),
         )
     }

@@ -95,7 +95,12 @@ mod tests {
     fn never_truncates_oversized_packets() {
         let trace = Trace::from_packets(
             Some(AppKind::Downloading),
-            vec![PacketRecord::at_secs(0.0, 1576, Direction::Downlink, AppKind::Downloading)],
+            vec![PacketRecord::at_secs(
+                0.0,
+                1576,
+                Direction::Downlink,
+                AppKind::Downloading,
+            )],
         );
         let (padded, overhead) = PacketPadder::to_size(500).apply(&trace);
         assert_eq!(padded.packets()[0].size, 1576);

@@ -36,7 +36,10 @@ impl PseudonymRotator {
     ///
     /// Panics if the period is zero.
     pub fn new(rotation_period: SimDuration) -> Self {
-        assert!(!rotation_period.is_zero(), "rotation period must be positive");
+        assert!(
+            !rotation_period.is_zero(),
+            "rotation period must be positive"
+        );
         PseudonymRotator { rotation_period }
     }
 
@@ -69,7 +72,11 @@ impl PseudonymRotator {
                     Trace::for_app(trace.app().expect("labelled trace")),
                 ));
                 if let Some(app) = trace.app() {
-                    partitions.last_mut().expect("just pushed").1.set_app(Some(app));
+                    partitions
+                        .last_mut()
+                        .expect("just pushed")
+                        .1
+                        .set_app(Some(app));
                 } else {
                     partitions.last_mut().expect("just pushed").1.set_app(None);
                 }
@@ -100,7 +107,10 @@ mod tests {
         let rotator = PseudonymRotator::default();
         assert_eq!(rotator.rotation_period(), SimDuration::from_secs(60));
         let partitions = rotator.partition(&trace, &mut rng);
-        assert!(partitions.len() >= 3, "3 minutes should give >= 3 pseudonyms");
+        assert!(
+            partitions.len() >= 3,
+            "3 minutes should give >= 3 pseudonyms"
+        );
         let total: usize = partitions.iter().map(|(_, t)| t.len()).sum();
         assert_eq!(total, trace.len());
         let addrs: HashSet<_> = partitions.iter().map(|(a, _)| *a).collect();

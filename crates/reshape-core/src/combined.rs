@@ -42,7 +42,10 @@ pub struct CombinedDefense {
 impl CombinedDefense {
     /// Creates the combined defense: `morphers` lists the interfaces whose
     /// sub-flow should additionally be morphed and the morpher to apply.
-    pub fn new(algorithm: Box<dyn ReshapeAlgorithm>, morphers: Vec<(VifIndex, TrafficMorpher)>) -> Self {
+    pub fn new(
+        algorithm: Box<dyn ReshapeAlgorithm>,
+        morphers: Vec<(VifIndex, TrafficMorpher)>,
+    ) -> Self {
         CombinedDefense {
             reshaper: Reshaper::new(algorithm),
             morphers,

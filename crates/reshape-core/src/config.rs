@@ -87,8 +87,7 @@ impl ConfigClient {
         };
         self.pending_nonce = Some(request.nonce);
         self.counter += 1;
-        let body =
-            serde_json::to_vec(&request).expect("configuration request serializes to json");
+        let body = serde_json::to_vec(&request).expect("configuration request serializes to json");
         let sealed = seal(&self.key, self.counter, &body);
         let frame = Frame::protected_data(self.physical, ap, sealed);
         Ok((frame, request))
@@ -107,9 +106,9 @@ impl ConfigClient {
             .map_err(|e| Error::MalformedConfigMessage(format!("decryption failed: {e}")))?;
         let response: ConfigResponse = serde_json::from_slice(&body)
             .map_err(|e| Error::MalformedConfigMessage(e.to_string()))?;
-        let expected = self
-            .pending_nonce
-            .ok_or_else(|| Error::MalformedConfigMessage("no configuration request pending".into()))?;
+        let expected = self.pending_nonce.ok_or_else(|| {
+            Error::MalformedConfigMessage("no configuration request pending".into())
+        })?;
         if response.nonce != expected {
             return Err(Error::NonceMismatch {
                 expected,
@@ -207,8 +206,7 @@ pub fn run_configuration<R: Rng + ?Sized>(
     rng: &mut R,
     requested_interfaces: usize,
 ) -> Result<VirtualInterfaceSet> {
-    let (request_frame, _request) =
-        client.build_request(rng, ap.bssid(), requested_interfaces)?;
+    let (request_frame, _request) = client.build_request(rng, ap.bssid(), requested_interfaces)?;
     let sealed_request = match request_frame.payload() {
         wlan_sim::frame::Payload::Sealed(s) => s.clone(),
         other => {
@@ -285,9 +283,14 @@ mod tests {
             wlan_sim::frame::Payload::Sealed(s) => s.clone(),
             _ => unreachable!(),
         };
-        let (_, mut response) =
-            ap_handle_request(&mut ap, &ApConfigPolicy::default(), &key, &mut rng, &sealed_request)
-                .unwrap();
+        let (_, mut response) = ap_handle_request(
+            &mut ap,
+            &ApConfigPolicy::default(),
+            &key,
+            &mut rng,
+            &sealed_request,
+        )
+        .unwrap();
         // Tamper with the nonce and re-seal: the client must refuse it.
         response.nonce ^= 1;
         let forged = seal(&key, 999, &serde_json::to_vec(&response).unwrap());
@@ -307,7 +310,14 @@ mod tests {
             _ => unreachable!(),
         };
         // AP with the wrong key cannot even read the request.
-        assert!(ap_handle_request(&mut ap, &ApConfigPolicy::default(), &wrong_key, &mut rng, &sealed_request).is_err());
+        assert!(ap_handle_request(
+            &mut ap,
+            &ApConfigPolicy::default(),
+            &wrong_key,
+            &mut rng,
+            &sealed_request
+        )
+        .is_err());
         // A response sealed under the wrong key is rejected by the client.
         let garbage = seal(&wrong_key, 1, b"{\"not\":\"a response\"}");
         assert!(client.accept_response(&garbage).is_err());
@@ -322,7 +332,15 @@ mod tests {
     #[test]
     fn response_without_pending_request_is_rejected() {
         let (mut ap, mut client, key, mut rng) = setup();
-        let vifs = run_configuration(&mut client, &mut ap, &ApConfigPolicy::default(), &key, &mut rng, 2).unwrap();
+        let vifs = run_configuration(
+            &mut client,
+            &mut ap,
+            &ApConfigPolicy::default(),
+            &key,
+            &mut rng,
+            2,
+        )
+        .unwrap();
         assert_eq!(vifs.len(), 2);
         // Replaying the same response after completion must fail (nonce consumed).
         let response = ConfigResponse {
@@ -342,8 +360,15 @@ mod tests {
         let key = LinkKey::from_seed(3);
         let mut client = ConfigClient::new(stranger, key);
         let mut rng = StdRng::seed_from_u64(5);
-        let err = run_configuration(&mut client, &mut ap, &ApConfigPolicy::default(), &key, &mut rng, 3)
-            .unwrap_err();
+        let err = run_configuration(
+            &mut client,
+            &mut ap,
+            &ApConfigPolicy::default(),
+            &key,
+            &mut rng,
+            3,
+        )
+        .unwrap_err();
         assert!(matches!(err, Error::Wlan(_)));
     }
 

@@ -83,12 +83,19 @@ mod tests {
     #[test]
     fn display_is_nonempty_lowercase_without_trailing_period() {
         let samples: Vec<Error> = vec![
-            Error::NonceMismatch { expected: 1, found: 2 },
+            Error::NonceMismatch {
+                expected: 1,
+                found: 2,
+            },
             Error::MalformedConfigMessage("truncated".into()),
             Error::InvalidInterfaceCount(0),
             Error::InvalidRanges("empty".into()),
             Error::InvalidTargetDistribution("sums to 2".into()),
-            Error::NotOrthogonal { first: 0, second: 1, dot: 0.5 },
+            Error::NotOrthogonal {
+                first: 0,
+                second: 1,
+                dot: 0.5,
+            },
             Error::UnknownAddress(MacAddress::BROADCAST),
             Error::Wlan(wlan_sim::error::Error::AddressPoolExhausted),
         ];

@@ -67,6 +67,8 @@ pub mod vif;
 
 pub use error::{Error, Result};
 pub use ranges::SizeRanges;
-pub use reshaper::{Reshaper, ReshapeOutcome};
-pub use scheduler::{OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin};
+pub use reshaper::{ReshapeOutcome, Reshaper};
+pub use scheduler::{
+    OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin,
+};
 pub use vif::{VifIndex, VirtualInterface, VirtualInterfaceSet};

@@ -83,9 +83,7 @@ impl RealizedDistributions {
             return vec![0.0; self.ranges.len()];
         }
         (0..self.ranges.len())
-            .map(|j| {
-                self.counts.iter().map(|row| row[j]).sum::<u64>() as f64 / total as f64
-            })
+            .map(|j| self.counts.iter().map(|row| row[j]).sum::<u64>() as f64 / total as f64)
             .collect()
     }
 
@@ -142,7 +140,16 @@ mod tests {
     fn aggregate_matches_original_traffic() {
         let mut t = tracker();
         // 4 small, 4 large packets spread over interfaces arbitrarily.
-        for (i, size) in [(0, 100), (1, 150), (2, 200), (0, 120), (1, 1576), (2, 1570), (0, 1560), (1, 1576)] {
+        for (i, size) in [
+            (0, 100),
+            (1, 150),
+            (2, 200),
+            (0, 120),
+            (1, 1576),
+            (2, 1570),
+            (0, 1560),
+            (1, 1576),
+        ] {
             t.record(VifIndex::new(i), size);
         }
         let agg = t.aggregate();

@@ -33,8 +33,7 @@ pub fn privacy_entropy_bits(visible_identities: u64) -> f64 {
 /// The increase in privacy entropy obtained by giving each of `clients`
 /// stations `interfaces` virtual interfaces instead of a single address.
 pub fn entropy_gain_bits(clients: u64, interfaces: u64) -> f64 {
-    privacy_entropy_bits(clients.saturating_mul(interfaces.max(1)))
-        - privacy_entropy_bits(clients)
+    privacy_entropy_bits(clients.saturating_mul(interfaces.max(1))) - privacy_entropy_bits(clients)
 }
 
 /// A requested privacy/resource trade-off level used to pick parameters.
@@ -121,7 +120,11 @@ mod tests {
         let high = ReshapeParameters::for_level(PrivacyLevel::High);
         assert_eq!(high.interfaces, 5);
         assert_eq!(high.range_count(), 5);
-        for level in [PrivacyLevel::Low, PrivacyLevel::Standard, PrivacyLevel::High] {
+        for level in [
+            PrivacyLevel::Low,
+            PrivacyLevel::Standard,
+            PrivacyLevel::High,
+        ] {
             assert!(ReshapeParameters::for_level(level).satisfies_selection_rules());
         }
     }

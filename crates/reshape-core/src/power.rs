@@ -154,7 +154,10 @@ mod tests {
         let c = vec![-70.0, -69.0, -71.0];
         assert!(linker.links(&a, &b));
         assert!(!linker.links(&a, &c));
-        assert!(!linker.links(&a, &[]), "empty observations cannot be linked");
+        assert!(
+            !linker.links(&a, &[]),
+            "empty observations cannot be linked"
+        );
         assert_eq!(RssiLinker::mean(&[]), None);
         assert_eq!(RssiLinker::spread(&[]), 0.0);
     }

@@ -30,7 +30,9 @@ impl SizeRanges {
             return Err(Error::InvalidRanges("no boundaries given".into()));
         }
         if boundaries[0] == 0 {
-            return Err(Error::InvalidRanges("first boundary must be positive".into()));
+            return Err(Error::InvalidRanges(
+                "first boundary must be positive".into(),
+            ));
         }
         if boundaries.windows(2).any(|w| w[0] >= w[1]) {
             return Err(Error::InvalidRanges(format!(
@@ -143,7 +145,10 @@ impl SizeRanges {
         if total == 0 {
             return vec![0.0; self.len()];
         }
-        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -179,7 +184,11 @@ mod tests {
         assert_eq!(r.range_of(1540), 1);
         assert_eq!(r.range_of(1541), 2);
         assert_eq!(r.range_of(1576), 2);
-        assert_eq!(r.range_of(5000), 2, "oversized packets clamp to the last range");
+        assert_eq!(
+            r.range_of(5000),
+            2,
+            "oversized packets clamp to the last range"
+        );
         assert_eq!(r.range_of(0), 0);
     }
 
@@ -187,9 +196,18 @@ mod tests {
     fn table_five_configurations() {
         assert_eq!(SizeRanges::paper_two().len(), 2);
         assert_eq!(SizeRanges::paper_five().len(), 5);
-        assert_eq!(SizeRanges::for_interface_count(2).unwrap(), SizeRanges::paper_two());
-        assert_eq!(SizeRanges::for_interface_count(3).unwrap(), SizeRanges::paper_default());
-        assert_eq!(SizeRanges::for_interface_count(5).unwrap(), SizeRanges::paper_five());
+        assert_eq!(
+            SizeRanges::for_interface_count(2).unwrap(),
+            SizeRanges::paper_two()
+        );
+        assert_eq!(
+            SizeRanges::for_interface_count(3).unwrap(),
+            SizeRanges::paper_default()
+        );
+        assert_eq!(
+            SizeRanges::for_interface_count(5).unwrap(),
+            SizeRanges::paper_five()
+        );
         assert_eq!(SizeRanges::for_interface_count(4).unwrap().len(), 4);
         assert!(SizeRanges::for_interface_count(0).is_err());
     }
@@ -226,7 +244,10 @@ mod tests {
         assert!((dist[0] - 3.0 / 8.0).abs() < 1e-12);
         assert!((dist[1] - 1.0 / 8.0).abs() < 1e-12);
         assert!((dist[2] - 4.0 / 8.0).abs() < 1e-12);
-        assert!(r.distribution_of(std::iter::empty()).iter().all(|&p| p == 0.0));
+        assert!(r
+            .distribution_of(std::iter::empty())
+            .iter()
+            .all(|&p| p == 0.0));
     }
 
     proptest! {

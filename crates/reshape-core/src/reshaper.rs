@@ -152,7 +152,8 @@ mod tests {
     #[test]
     fn reshaping_is_a_partition_with_zero_overhead() {
         let trace = bt_trace(1, 20.0);
-        let mut reshaper = Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let mut reshaper =
+            Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
         assert_eq!(reshaper.algorithm_name(), "OR");
         let outcome = reshaper.reshape(&trace);
         assert_eq!(outcome.interface_count(), 3);
@@ -191,7 +192,8 @@ mod tests {
         // The Table I effect: per-interface mean sizes differ from the original.
         let trace = bt_trace(3, 60.0);
         let original_mean = trace.mean_packet_size();
-        let mut reshaper = Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let mut reshaper =
+            Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
         let outcome = reshaper.reshape(&trace);
         let small = outcome.sub_trace(VifIndex::new(0)).unwrap();
         let large = outcome.sub_trace(VifIndex::new(2)).unwrap();
@@ -241,7 +243,8 @@ mod tests {
 
     #[test]
     fn empty_trace_reshapes_to_empty_sub_traces() {
-        let mut reshaper = Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let mut reshaper =
+            Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
         let outcome = reshaper.reshape(&Trace::new());
         assert_eq!(outcome.total_packets(), 0);
         assert_eq!(outcome.total_bytes(), 0);

@@ -92,7 +92,12 @@ pub(crate) mod test_support {
 
     /// A simple packet of the given size at `index * 10 ms`.
     pub fn packet(index: usize, size: usize) -> PacketRecord {
-        PacketRecord::at_secs(index as f64 * 0.01, size, Direction::Downlink, AppKind::BitTorrent)
+        PacketRecord::at_secs(
+            index as f64 * 0.01,
+            size,
+            Direction::Downlink,
+            AppKind::BitTorrent,
+        )
     }
 
     /// Asserts that every assignment lies inside `0..interfaces`.
@@ -123,8 +128,10 @@ mod tests {
             let mut algorithm = kind.build(3, 7);
             assert_eq!(algorithm.interface_count(), 3);
             assert!(!algorithm.name().is_empty());
-            let assignments =
-                test_support::assert_assignments_in_range(algorithm.as_mut(), &[100, 800, 1576, 60]);
+            let assignments = test_support::assert_assignments_in_range(
+                algorithm.as_mut(),
+                &[100, 800, 1576, 60],
+            );
             assert_eq!(assignments.len(), 4);
         }
     }

@@ -89,9 +89,13 @@ mod tests {
     #[test]
     fn reset_restores_the_sequence() {
         let mut ra = RandomAssign::new(4, 9);
-        let first: Vec<usize> = (0..50).map(|i| ra.assign(&packet(i, 500)).index()).collect();
+        let first: Vec<usize> = (0..50)
+            .map(|i| ra.assign(&packet(i, 500)).index())
+            .collect();
         ra.reset();
-        let second: Vec<usize> = (0..50).map(|i| ra.assign(&packet(i, 500)).index()).collect();
+        let second: Vec<usize> = (0..50)
+            .map(|i| ra.assign(&packet(i, 500)).index())
+            .collect();
         assert_eq!(first, second);
     }
 

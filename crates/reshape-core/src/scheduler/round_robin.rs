@@ -66,7 +66,9 @@ mod tests {
         let mut rr = RoundRobin::new(3);
         assert_eq!(rr.name(), "RR");
         assert_eq!(rr.interface_count(), 3);
-        let order: Vec<usize> = (0..7).map(|i| rr.assign(&packet(i, 1000)).index()).collect();
+        let order: Vec<usize> = (0..7)
+            .map(|i| rr.assign(&packet(i, 1000)).index())
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0]);
         assert_eq!(rr.position(), 7);
     }

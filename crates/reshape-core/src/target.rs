@@ -27,9 +27,14 @@ impl TargetDistribution {
     /// contains entries outside `[0, 1]`, or does not sum to one (within 1e-9).
     pub fn new(probabilities: Vec<f64>) -> Result<Self> {
         if probabilities.is_empty() {
-            return Err(Error::InvalidTargetDistribution("empty distribution".into()));
+            return Err(Error::InvalidTargetDistribution(
+                "empty distribution".into(),
+            ));
         }
-        if probabilities.iter().any(|p| !(0.0..=1.0).contains(p) || !p.is_finite()) {
+        if probabilities
+            .iter()
+            .any(|p| !(0.0..=1.0).contains(p) || !p.is_finite())
+        {
             return Err(Error::InvalidTargetDistribution(format!(
                 "entries must lie in [0, 1]: {probabilities:?}"
             )));
@@ -135,10 +140,16 @@ impl TargetSet {
         }
         let mut per_interface = vec![vec![0.0f64; ranges]; interfaces];
         let mut owned_counts = vec![0usize; interfaces];
-        for j in 0..ranges {
-            let owner = j % interfaces;
-            per_interface[owner][j] = 1.0;
-            owned_counts[owner] += 1;
+        for (owner, (probs, count)) in per_interface
+            .iter_mut()
+            .zip(owned_counts.iter_mut())
+            .enumerate()
+        {
+            // Interface `owner` owns ranges owner, owner + I, owner + 2I, …
+            for p in probs.iter_mut().skip(owner).step_by(interfaces) {
+                *p = 1.0;
+                *count += 1;
+            }
         }
         // Normalise interfaces that own several ranges so each target sums to 1.
         let targets = per_interface
@@ -156,11 +167,11 @@ impl TargetSet {
                     // assigning a uniform distribution (it will simply never be
                     // selected by the range-owner map).
                     let uniform = 1.0 / probs.len() as f64;
-                    for p in &mut probs {
-                        *p = uniform;
-                    }
+                    probs.fill(uniform);
                 }
-                TargetDistribution { probabilities: probs }
+                TargetDistribution {
+                    probabilities: probs,
+                }
             })
             .collect();
         Ok(TargetSet { targets })
@@ -247,7 +258,10 @@ mod tests {
         }
         assert_eq!(set.owner_of_range(0), Some(VifIndex::new(0)));
         assert_eq!(set.owner_of_range(2), Some(VifIndex::new(2)));
-        assert_eq!(set.target(VifIndex::new(1)).unwrap().probabilities()[1], 1.0);
+        assert_eq!(
+            set.target(VifIndex::new(1)).unwrap().probabilities()[1],
+            1.0
+        );
         assert!(set.target(VifIndex::new(5)).is_none());
     }
 
@@ -269,7 +283,14 @@ mod tests {
         let b = TargetDistribution::new(vec![0.0, 0.5, 0.5]).unwrap();
         let set = TargetSet::new(vec![a, b]).unwrap();
         let err = set.check_orthogonality().unwrap_err();
-        assert!(matches!(err, Error::NotOrthogonal { first: 0, second: 1, .. }));
+        assert!(matches!(
+            err,
+            Error::NotOrthogonal {
+                first: 0,
+                second: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

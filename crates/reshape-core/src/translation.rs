@@ -172,7 +172,11 @@ mod tests {
         let new = vifs(3, 2);
         table.install(physical(1), &old);
         table.install(physical(1), &new);
-        assert_eq!(table.physical_of(old.macs()[0]), None, "stale aliases removed");
+        assert_eq!(
+            table.physical_of(old.macs()[0]),
+            None,
+            "stale aliases removed"
+        );
         assert_eq!(table.physical_of(new.macs()[1]), Some(physical(1)));
         assert_eq!(table.virtuals_of(physical(1)).unwrap().len(), 2);
     }
@@ -193,7 +197,9 @@ mod tests {
         // Downlink: AP rewrites the physical destination to virtual interface 2;
         // the client maps it back before handing the packet to upper layers.
         let downlink = Frame::data(ap, physical(1), vec![0u8; 1500]);
-        let on_air = table.translate_downlink(&downlink, VifIndex::new(2)).unwrap();
+        let on_air = table
+            .translate_downlink(&downlink, VifIndex::new(2))
+            .unwrap();
         assert_eq!(on_air.header().dst(), set.macs()[2]);
         let delivered = table.deliver_to_upper_layers(&on_air).unwrap();
         assert_eq!(delivered.header().dst(), physical(1));
@@ -205,7 +211,10 @@ mod tests {
         let table = TranslationTable::new();
         let ap = MacAddress::new([0x00, 0x1f, 0x3a, 0, 0, 0xaa]);
         let frame = Frame::data(physical(7), ap, vec![0u8; 100]);
-        assert!(matches!(table.translate_uplink(&frame), Err(Error::UnknownAddress(_))));
+        assert!(matches!(
+            table.translate_uplink(&frame),
+            Err(Error::UnknownAddress(_))
+        ));
         let down = Frame::data(ap, physical(7), vec![0u8; 100]);
         assert!(table.translate_downlink(&down, VifIndex::new(0)).is_err());
         assert!(table.deliver_to_upper_layers(&down).is_err());

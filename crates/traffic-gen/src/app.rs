@@ -119,7 +119,10 @@ mod tests {
     fn all_has_seven_distinct_entries_in_paper_order() {
         assert_eq!(AppKind::ALL.len(), AppKind::COUNT);
         let abbrevs: Vec<&str> = AppKind::ALL.iter().map(|a| a.abbrev()).collect();
-        assert_eq!(abbrevs, vec!["br.", "ch.", "ga.", "do.", "up.", "vo.", "bt."]);
+        assert_eq!(
+            abbrevs,
+            vec!["br.", "ch.", "ga.", "do.", "up.", "vo.", "bt."]
+        );
     }
 
     #[test]
@@ -134,9 +137,15 @@ mod tests {
     #[test]
     fn parsing_accepts_abbreviations_and_names() {
         assert_eq!("br.".parse::<AppKind>().unwrap(), AppKind::Browsing);
-        assert_eq!("BitTorrent".parse::<AppKind>().unwrap(), AppKind::BitTorrent);
+        assert_eq!(
+            "BitTorrent".parse::<AppKind>().unwrap(),
+            AppKind::BitTorrent
+        );
         assert_eq!("VIDEO".parse::<AppKind>().unwrap(), AppKind::Video);
-        assert_eq!(" uploading ".parse::<AppKind>().unwrap(), AppKind::Uploading);
+        assert_eq!(
+            " uploading ".parse::<AppKind>().unwrap(),
+            AppKind::Uploading
+        );
         assert!("telnet".parse::<AppKind>().is_err());
     }
 

@@ -27,7 +27,10 @@ impl SizeHistogram {
     /// Panics if `bin_width` is zero or larger than `max_size`.
     pub fn new(max_size: usize, bin_width: usize) -> Self {
         assert!(bin_width > 0, "bin width must be positive");
-        assert!(bin_width <= max_size, "bin width {bin_width} larger than max size {max_size}");
+        assert!(
+            bin_width <= max_size,
+            "bin width {bin_width} larger than max size {max_size}"
+        );
         let bins = max_size / bin_width + 1;
         SizeHistogram {
             bin_width,
@@ -174,7 +177,11 @@ impl SizeHistogram {
         assert_eq!(self.counts.len(), other.counts.len(), "bin counts differ");
         let a = self.pdf();
         let b = other.pdf();
-        0.5 * a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+        0.5 * a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
     }
 
     /// The dot product of two PDFs — zero means the supports are disjoint,
@@ -297,7 +304,10 @@ mod tests {
         let b = SizeHistogram::from_sizes(vec![1500; 100], 1576, 8);
         assert_eq!(a.total_variation_distance(&a), 0.0);
         assert!((a.total_variation_distance(&b) - 1.0).abs() < 1e-12);
-        assert!((a.pdf_dot(&b)).abs() < 1e-12, "disjoint supports are orthogonal");
+        assert!(
+            (a.pdf_dot(&b)).abs() < 1e-12,
+            "disjoint supports are orthogonal"
+        );
         assert!(a.pdf_dot(&a) > 0.0);
     }
 

@@ -35,11 +35,7 @@ impl Default for BitTorrentModel {
         );
         let uplink = FlowSpec::new(
             Direction::Uplink,
-            SizeMixture::new(&[
-                (0.45, 108, 232),
-                (0.15, 400, 1200),
-                (0.40, 1546, 1576),
-            ]),
+            SizeMixture::new(&[(0.45, 108, 232), (0.15, 400, 1200), (0.40, 1546, 1576)]),
             ArrivalProcess::Poisson {
                 mean_gap_secs: 0.050,
             },

@@ -23,11 +23,13 @@ impl Default for ChattingModel {
         let downlink = FlowSpec::new(
             Direction::Downlink,
             SizeMixture::new(&[
-                (0.82, 108, 232),   // text messages, presence updates
-                (0.13, 300, 700),   // stickers / formatted messages
-                (0.05, 1546, 1576), // occasional media chunk
+                (0.84, 108, 232),   // text messages, presence updates
+                (0.12, 300, 700),   // stickers / formatted messages
+                (0.04, 1546, 1576), // occasional media chunk
             ]),
-            ArrivalProcess::Poisson { mean_gap_secs: 0.95 },
+            ArrivalProcess::Poisson {
+                mean_gap_secs: 0.95,
+            },
         );
         let uplink = FlowSpec::new(
             Direction::Uplink,
@@ -79,7 +81,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let trace = ChattingModel::default().generate(&mut rng, 300.0);
         // Low rate: far fewer packets than a bulk transfer would produce.
-        assert!(trace.len() < 1500, "chat generated {} packets in 5 min", trace.len());
+        assert!(
+            trace.len() < 1500,
+            "chat generated {} packets in 5 min",
+            trace.len()
+        );
         let small = trace
             .sizes(Direction::Downlink)
             .iter()

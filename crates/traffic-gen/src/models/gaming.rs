@@ -27,12 +27,16 @@ impl Default for GamingModel {
                 (0.23, 400, 900),   // aggregated updates
                 (0.15, 1500, 1576), // asset / map data
             ]),
-            ArrivalProcess::Poisson { mean_gap_secs: 0.30 },
+            ArrivalProcess::Poisson {
+                mean_gap_secs: 0.30,
+            },
         );
         let uplink = FlowSpec::new(
             Direction::Uplink,
             SizeMixture::new(&[(0.80, 108, 232), (0.20, 300, 800)]),
-            ArrivalProcess::Poisson { mean_gap_secs: 0.28 },
+            ArrivalProcess::Poisson {
+                mean_gap_secs: 0.28,
+            },
         );
         GamingModel {
             inner: BidirectionalModel::new(AppKind::Gaming, downlink, uplink),
@@ -90,6 +94,9 @@ mod tests {
         let down = trace.packets_in(Direction::Downlink).count() as f64;
         let up = trace.packets_in(Direction::Uplink).count() as f64;
         let ratio = down / up;
-        assert!(ratio > 0.5 && ratio < 2.0, "interactive game traffic is symmetric-ish ({ratio})");
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "interactive game traffic is symmetric-ish ({ratio})"
+        );
     }
 }

@@ -242,16 +242,19 @@ pub(crate) mod test_support {
     /// Generates a long trace and asserts its downlink mean size and mean
     /// inter-arrival time are within the given relative tolerances of the
     /// paper's Table I values.
-    pub fn assert_calibrated(
-        model: &dyn TrafficModel,
-        size_tolerance: f64,
-        gap_tolerance: f64,
-    ) {
+    pub fn assert_calibrated(model: &dyn TrafficModel, size_tolerance: f64, gap_tolerance: f64) {
         let profile = paper_profile(model.app());
+        // Long enough that rare large-packet mixture components are well
+        // sampled; at 120 s the chat model's mean wobbles by more than the
+        // tolerance from seed to seed.
         let mut rng = StdRng::seed_from_u64(2024);
-        let trace = model.generate(&mut rng, 120.0);
+        let trace = model.generate(&mut rng, 600.0);
         let sizes = trace.sizes(Direction::Downlink);
-        assert!(sizes.len() > 20, "{}: too few downlink packets", model.app());
+        assert!(
+            sizes.len() > 20,
+            "{}: too few downlink packets",
+            model.app()
+        );
         let mean_size = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         let rel_size = (mean_size - profile.mean_packet_size).abs() / profile.mean_packet_size;
         assert!(
@@ -305,13 +308,19 @@ mod tests {
         let spec = FlowSpec::new(
             Direction::Downlink,
             SizeMixture::new(&[(1.0, 1576, 1576)]),
-            ArrivalProcess::Poisson { mean_gap_secs: 0.01 },
+            ArrivalProcess::Poisson {
+                mean_gap_secs: 0.01,
+            },
         );
         let mut rng = StdRng::seed_from_u64(7);
         let packets = generate_flow(&spec, AppKind::Downloading, &mut rng, 10.0);
         assert!(packets.iter().all(|p| p.time.as_secs_f64() <= 10.0));
         // Expected ~1000 packets; allow wide slack.
-        assert!(packets.len() > 700 && packets.len() < 1300, "{}", packets.len());
+        assert!(
+            packets.len() > 700 && packets.len() < 1300,
+            "{}",
+            packets.len()
+        );
         assert!(packets.iter().all(|p| p.size == 1576));
     }
 
@@ -356,8 +365,7 @@ mod tests {
             .map(|w| w[1].time.as_secs_f64() - w[0].time.as_secs_f64())
             .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let std =
-            (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt();
+        let std = (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt();
         assert!((mean - 0.02).abs() < 0.003, "mean gap {mean}");
         assert!(std < 0.01, "video jitter should be small, got {std}");
     }

@@ -99,7 +99,10 @@ mod tests {
             .sum::<f64>()
             / per_second.len() as f64;
         let cv = var.sqrt() / mean;
-        assert!(cv < 0.2, "video rate should be stable, coefficient of variation {cv}");
+        assert!(
+            cv < 0.2,
+            "video rate should be stable, coefficient of variation {cv}"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn profile_lookup_matches_table_one() {
         assert_eq!(paper_profile(AppKind::Downloading).mean_packet_size, 1575.3);
-        assert_eq!(paper_profile(AppKind::Chatting).mean_interarrival_secs, 0.9901);
+        assert_eq!(
+            paper_profile(AppKind::Chatting).mean_interarrival_secs,
+            0.9901
+        );
         assert_eq!(paper_profile(AppKind::BitTorrent).mean_packet_size, 962.04);
     }
 

@@ -22,7 +22,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates an exponential sampler with mean `mean`.
     pub fn new(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
         Exponential { mean }
     }
 
@@ -52,8 +55,10 @@ impl Normal {
     ///
     /// Panics if `std_dev` is negative or either parameter is not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
-            "invalid normal parameters mean={mean} std_dev={std_dev}");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters mean={mean} std_dev={std_dev}"
+        );
         Normal { mean, std_dev }
     }
 
@@ -109,8 +114,10 @@ impl Pareto {
     ///
     /// Panics unless both parameters are positive and finite.
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
-            "invalid pareto parameters x_min={x_min} alpha={alpha}");
+        assert!(
+            x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "invalid pareto parameters x_min={x_min} alpha={alpha}"
+        );
         Pareto { x_min, alpha }
     }
 
@@ -361,6 +368,10 @@ mod tests {
         assert!(samples.iter().any(|&s| s <= 200));
         assert!(samples.iter().any(|&s| s >= 1500));
         let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
-        assert!((mean - mix.mean()).abs() < 20.0, "mean {mean} vs {}", mix.mean());
+        assert!(
+            (mean - mix.mean()).abs() < 20.0,
+            "mean {mean} vs {}",
+            mix.mean()
+        );
     }
 }

@@ -73,9 +73,7 @@ impl Trace {
     pub fn push(&mut self, packet: PacketRecord) {
         match self.packets.last() {
             Some(last) if last.time > packet.time => {
-                let idx = self
-                    .packets
-                    .partition_point(|p| p.time <= packet.time);
+                let idx = self.packets.partition_point(|p| p.time <= packet.time);
                 self.packets.insert(idx, packet);
             }
             _ => self.packets.push(packet),
@@ -84,7 +82,9 @@ impl Trace {
 
     /// Iterates over packets travelling in `direction`.
     pub fn packets_in(&self, direction: Direction) -> impl Iterator<Item = &PacketRecord> {
-        self.packets.iter().filter(move |p| p.direction == direction)
+        self.packets
+            .iter()
+            .filter(move |p| p.direction == direction)
     }
 
     /// The timestamp of the first packet.
@@ -328,12 +328,21 @@ mod tests {
 
     #[test]
     fn merge_combines_and_unions_labels() {
-        let mut a = Trace::from_packets(Some(AppKind::Browsing), vec![pkt(0.0, 10, Direction::Downlink)]);
-        let b = Trace::from_packets(Some(AppKind::Browsing), vec![pkt(0.5, 20, Direction::Uplink)]);
+        let mut a = Trace::from_packets(
+            Some(AppKind::Browsing),
+            vec![pkt(0.0, 10, Direction::Downlink)],
+        );
+        let b = Trace::from_packets(
+            Some(AppKind::Browsing),
+            vec![pkt(0.5, 20, Direction::Uplink)],
+        );
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.app(), Some(AppKind::Browsing));
-        let c = Trace::from_packets(Some(AppKind::Video), vec![pkt(1.0, 30, Direction::Downlink)]);
+        let c = Trace::from_packets(
+            Some(AppKind::Video),
+            vec![pkt(1.0, 30, Direction::Downlink)],
+        );
         a.merge(&c);
         assert_eq!(a.app(), None, "conflicting labels are dropped");
         assert_eq!(a.len(), 3);
@@ -343,7 +352,10 @@ mod tests {
     fn rebase_shifts_to_zero() {
         let t = Trace::from_packets(
             None,
-            vec![pkt(5.0, 10, Direction::Downlink), pkt(7.5, 10, Direction::Downlink)],
+            vec![
+                pkt(5.0, 10, Direction::Downlink),
+                pkt(7.5, 10, Direction::Downlink),
+            ],
         );
         let r = t.rebased();
         assert_eq!(r.start_time().unwrap().as_secs_f64(), 0.0);
@@ -355,7 +367,10 @@ mod tests {
     fn json_round_trip() {
         let t = Trace::from_packets(
             Some(AppKind::BitTorrent),
-            vec![pkt(0.0, 1576, Direction::Downlink), pkt(0.01, 108, Direction::Uplink)],
+            vec![
+                pkt(0.0, 1576, Direction::Downlink),
+                pkt(0.01, 108, Direction::Uplink),
+            ],
         );
         let json = t.to_json();
         let back = Trace::from_json(&json).unwrap();
@@ -370,7 +385,10 @@ mod tests {
             .collect();
         assert_eq!(t.len(), 5);
         let mut t2 = Trace::new();
-        t2.extend(vec![pkt(1.0, 1, Direction::Uplink), pkt(0.5, 2, Direction::Uplink)]);
+        t2.extend(vec![
+            pkt(1.0, 1, Direction::Uplink),
+            pkt(0.5, 2, Direction::Uplink),
+        ]);
         assert_eq!(t2.len(), 2);
         assert!(t2.packets()[0].time < t2.packets()[1].time);
     }

@@ -44,7 +44,8 @@ impl AccessPoint {
     pub fn new(bssid: MacAddress, position: Position) -> Self {
         let mut pool = MacAddressPool::new();
         // The AP's own address must never be handed out as a virtual address.
-        pool.register(bssid).expect("fresh pool cannot contain the bssid");
+        pool.register(bssid)
+            .expect("fresh pool cannot contain the bssid");
         AccessPoint {
             bssid,
             position,
@@ -118,7 +119,7 @@ impl AccessPoint {
         // interface can never collide with an associated station.
         let _ = self.pool.register(station);
         let seq = self.next_sequence();
-        let response = Frame::new(
+        let response = Frame::builder(
             FrameType::Management(ManagementSubtype::AssociationResponse),
             self.bssid,
             station,
@@ -350,7 +351,11 @@ mod tests {
         let second = ap.allocate_virtual_addrs(&mut rng, sta(1), 2).unwrap();
         assert_eq!(second.len(), 2);
         for a in &first {
-            assert_eq!(ap.resolve_physical(*a), None, "old aliases must be recycled");
+            assert_eq!(
+                ap.resolve_physical(*a),
+                None,
+                "old aliases must be recycled"
+            );
         }
         for a in &second {
             assert_eq!(ap.resolve_physical(*a), Some(sta(1)));
@@ -392,7 +397,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         ap.handle_association_request(sta(1)).unwrap();
         let addrs = ap.allocate_virtual_addrs(&mut rng, sta(1), 3).unwrap();
-        let downlink = Frame::data(MacAddress::new([0xde, 0xad, 0, 0, 0, 1]), sta(1), vec![0u8; 900]);
+        let downlink = Frame::data(
+            MacAddress::new([0xde, 0xad, 0, 0, 0, 1]),
+            sta(1),
+            vec![0u8; 900],
+        );
         let f = ap.translate_downlink(&downlink, addrs[2]).unwrap();
         assert_eq!(f.header().dst(), addrs[2]);
         assert_eq!(f.header().src(), ap.bssid());

@@ -143,7 +143,9 @@ impl Medium {
     /// Whether a transmission from `tx` at `tx_power_dbm` is decodable at `rx`
     /// (mean RSSI at least 6 dB above the noise floor).
     pub fn is_receivable(&self, tx: Position, rx: Position, tx_power_dbm: f64) -> bool {
-        self.path_loss.mean_rssi_dbm(tx_power_dbm, tx.distance_to(&rx)) >= self.noise_floor_dbm + 6.0
+        self.path_loss
+            .mean_rssi_dbm(tx_power_dbm, tx.distance_to(&rx))
+            >= self.noise_floor_dbm + 6.0
     }
 
     /// Samples the RSSI observed at `rx` for a transmission from `tx`.
@@ -210,10 +212,18 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(4);
         let mean = m.mean_path_loss_db(10.0);
-        let samples: Vec<f64> = (0..2000).map(|_| m.sample_path_loss_db(10.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| m.sample_path_loss_db(10.0, &mut rng))
+            .collect();
         let avg = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((avg - mean).abs() < 0.5, "sample mean {avg} too far from {mean}");
-        assert!(samples.iter().any(|s| (s - mean).abs() > 1.0), "shadowing should vary");
+        assert!(
+            (avg - mean).abs() < 0.5,
+            "sample mean {avg} too far from {mean}"
+        );
+        assert!(
+            samples.iter().any(|s| (s - mean).abs() > 1.0),
+            "shadowing should vary"
+        );
     }
 
     #[test]

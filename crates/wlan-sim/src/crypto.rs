@@ -43,7 +43,8 @@ impl LinkKey {
         // a simulation artifact, not cryptography.
         let k = u64::from_le_bytes(self.0[0..8].try_into().expect("key slice is 8 bytes"));
         let k2 = u64::from_le_bytes(self.0[8..16].try_into().expect("key slice is 8 bytes"));
-        let mut x = k ^ counter.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ (index as u64).wrapping_mul(k2 | 1);
+        let mut x =
+            k ^ counter.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ (index as u64).wrapping_mul(k2 | 1);
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
@@ -134,7 +135,11 @@ mod tests {
         let msg = b"request: uni_addr | nonce 0xdeadbeef".to_vec();
         let sealed = seal(&key, 7, &msg);
         assert_eq!(sealed.len(), msg.len());
-        assert_ne!(sealed.ciphertext(), &msg[..], "ciphertext must differ from plaintext");
+        assert_ne!(
+            sealed.ciphertext(),
+            &msg[..],
+            "ciphertext must differ from plaintext"
+        );
         let opened = open(&key, &sealed).unwrap();
         assert_eq!(opened, msg);
     }

@@ -83,7 +83,11 @@ impl FrameType {
             0x11 => FrameType::Control(ControlSubtype::Rts),
             0x12 => FrameType::Control(ControlSubtype::Cts),
             0x20 => FrameType::Data,
-            other => return Err(Error::FrameDecode(format!("unknown frame type code {other:#04x}"))),
+            other => {
+                return Err(Error::FrameDecode(format!(
+                    "unknown frame type code {other:#04x}"
+                )))
+            }
         })
     }
 
@@ -194,7 +198,7 @@ impl Payload {
 
 impl Frame {
     /// Builder for a frame of arbitrary type.
-    pub fn new(frame_type: FrameType, src: MacAddress, dst: MacAddress) -> FrameBuilder {
+    pub fn builder(frame_type: FrameType, src: MacAddress, dst: MacAddress) -> FrameBuilder {
         FrameBuilder {
             header: FrameHeader::new(frame_type, src, dst),
             payload: Payload::None,
@@ -203,12 +207,16 @@ impl Frame {
 
     /// Convenience constructor for a cleartext data frame.
     pub fn data(src: MacAddress, dst: MacAddress, payload: Vec<u8>) -> Frame {
-        Frame::new(FrameType::Data, src, dst).payload(payload).build()
+        Frame::builder(FrameType::Data, src, dst)
+            .payload(payload)
+            .build()
     }
 
     /// Convenience constructor for an encrypted data frame.
     pub fn protected_data(src: MacAddress, dst: MacAddress, sealed: SealedPayload) -> Frame {
-        Frame::new(FrameType::Data, src, dst).sealed_payload(sealed).build()
+        Frame::builder(FrameType::Data, src, dst)
+            .sealed_payload(sealed)
+            .build()
     }
 
     /// Convenience constructor for a data frame of a given on-air size. The
@@ -417,7 +425,7 @@ mod tests {
     fn air_size_includes_mac_overhead() {
         let f = Frame::data(addr(1), addr(2), vec![0; 1400]);
         assert_eq!(f.air_size(), 1400 + MAC_OVERHEAD_BYTES);
-        let ack = Frame::new(FrameType::Control(ControlSubtype::Ack), addr(1), addr(2)).build();
+        let ack = Frame::builder(FrameType::Control(ControlSubtype::Ack), addr(1), addr(2)).build();
         assert_eq!(ack.air_size(), MAC_OVERHEAD_BYTES);
     }
 
@@ -437,7 +445,7 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip_clear() {
-        let f = Frame::new(FrameType::Data, addr(3), addr(4))
+        let f = Frame::builder(FrameType::Data, addr(3), addr(4))
             .payload(vec![7u8; 321])
             .bssid(addr(9))
             .sequence(1234)
@@ -473,11 +481,19 @@ mod tests {
     #[test]
     fn address_rewriting() {
         let f = Frame::data(addr(1), addr(2), vec![0; 10]);
-        let g = f.clone().with_src(addr(7)).with_dst(addr(8)).with_sequence(3);
+        let g = f
+            .clone()
+            .with_src(addr(7))
+            .with_dst(addr(8))
+            .with_sequence(3);
         assert_eq!(g.header().src(), addr(7));
         assert_eq!(g.header().dst(), addr(8));
         assert_eq!(g.header().sequence(), 3);
-        assert_eq!(g.air_size(), f.air_size(), "translation must not change size");
+        assert_eq!(
+            g.air_size(),
+            f.air_size(),
+            "translation must not change size"
+        );
     }
 
     #[test]

@@ -102,6 +102,7 @@ impl Sniffer {
     /// sniffer is tuned to that channel and the signal is receivable.
     ///
     /// Returns `true` if the frame was captured.
+    #[allow(clippy::too_many_arguments)]
     pub fn observe<R: Rng + ?Sized>(
         &mut self,
         time: SimTime,
@@ -204,8 +205,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let frame = Frame::data(sta(1), bssid(), vec![0u8; 500]);
         let tx = Position::new(0.0, 0.0);
-        assert!(!sniffer.observe(SimTime::ZERO, &frame, tx, 15.0, Channel::CH1, &medium, &mut rng));
-        assert!(sniffer.observe(SimTime::ZERO, &frame, tx, 15.0, Channel::CH6, &medium, &mut rng));
+        assert!(!sniffer.observe(
+            SimTime::ZERO,
+            &frame,
+            tx,
+            15.0,
+            Channel::CH1,
+            &medium,
+            &mut rng
+        ));
+        assert!(sniffer.observe(
+            SimTime::ZERO,
+            &frame,
+            tx,
+            15.0,
+            Channel::CH6,
+            &medium,
+            &mut rng
+        ));
         assert_eq!(sniffer.len(), 1);
         assert!(!sniffer.is_empty());
         let c = sniffer.captures()[0];
@@ -222,7 +239,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let frame = Frame::data(sta(1), bssid(), vec![0u8; 500]);
         let far = Position::new(10_000.0, 0.0);
-        assert!(!sniffer.observe(SimTime::ZERO, &frame, far, 15.0, Channel::CH6, &medium, &mut rng));
+        assert!(!sniffer.observe(
+            SimTime::ZERO,
+            &frame,
+            far,
+            15.0,
+            Channel::CH6,
+            &medium,
+            &mut rng
+        ));
     }
 
     #[test]

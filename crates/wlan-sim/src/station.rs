@@ -86,7 +86,7 @@ impl Station {
     /// station into the pending state.
     pub fn start_association(&mut self, ap: MacAddress) -> Frame {
         self.association = AssociationState::Pending;
-        Frame::new(
+        Frame::builder(
             FrameType::Management(ManagementSubtype::AssociationRequest),
             self.physical_addr,
             ap,
@@ -148,14 +148,19 @@ impl Station {
     /// # Panics
     ///
     /// Panics (in debug builds) if `src` is not an address owned by this station.
-    pub fn build_uplink_frame(&mut self, src: MacAddress, ap: MacAddress, payload: Vec<u8>) -> Frame {
+    pub fn build_uplink_frame(
+        &mut self,
+        src: MacAddress,
+        ap: MacAddress,
+        payload: Vec<u8>,
+    ) -> Frame {
         debug_assert!(
             self.accepts(src),
             "station {} asked to transmit with foreign source {src}",
             self.physical_addr
         );
         self.frames_sent += 1;
-        Frame::new(FrameType::Data, src, ap)
+        Frame::builder(FrameType::Data, src, ap)
             .bssid(ap)
             .sequence(self.next_sequence())
             .payload(payload)
@@ -247,7 +252,11 @@ mod tests {
         sta.configure_virtual_addrs(&[addr(10), addr(11)]);
         let downlink = Frame::data(ap(), addr(11), vec![0u8; 500]);
         let delivered = sta.receive(&downlink).expect("frame for our virtual mac");
-        assert_eq!(delivered.header().dst(), addr(1), "upper layers see the physical mac");
+        assert_eq!(
+            delivered.header().dst(),
+            addr(1),
+            "upper layers see the physical mac"
+        );
         assert_eq!(delivered.air_size(), downlink.air_size());
         assert_eq!(sta.frames_received(), 1);
     }

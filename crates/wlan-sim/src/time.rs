@@ -299,7 +299,11 @@ mod tests {
         clock.advance(SimDuration::from_millis(2));
         assert_eq!(clock.now(), SimTime::from_millis(2));
         clock.advance_to(SimTime::from_millis(1));
-        assert_eq!(clock.now(), SimTime::from_millis(2), "clock must not move backwards");
+        assert_eq!(
+            clock.now(),
+            SimTime::from_millis(2),
+            "clock must not move backwards"
+        );
         clock.advance_to(SimTime::from_millis(7));
         assert_eq!(clock.now(), SimTime::from_millis(7));
     }

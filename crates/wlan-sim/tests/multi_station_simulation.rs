@@ -33,15 +33,23 @@ fn two_station_bss_with_eavesdropper() {
     let mut sniffer = Sniffer::new(Position::new(7.0, 2.0), bssid(), Channel::CH6);
 
     let mut stations = vec![
-        Station::new(MacAddress::new([0x02, 0, 0, 0, 0, 0x01]), Position::new(4.0, 0.0)),
-        Station::new(MacAddress::new([0x02, 0, 0, 0, 0, 0x02]), Position::new(2.0, 5.0)),
+        Station::new(
+            MacAddress::new([0x02, 0, 0, 0, 0, 0x01]),
+            Position::new(4.0, 0.0),
+        ),
+        Station::new(
+            MacAddress::new([0x02, 0, 0, 0, 0, 0x02]),
+            Position::new(2.0, 5.0),
+        ),
     ];
 
     // Association handshakes.
     for station in stations.iter_mut() {
         let request = station.start_association(bssid());
         assert!(request.header().frame_type().is_management());
-        let (response, aid) = ap.handle_association_request(station.physical_addr()).unwrap();
+        let (response, aid) = ap
+            .handle_association_request(station.physical_addr())
+            .unwrap();
         assert_eq!(response.header().dst(), station.physical_addr());
         station.complete_association(aid);
         assert!(station.association().is_associated());
@@ -54,9 +62,15 @@ fn two_station_bss_with_eavesdropper() {
         let station = (k % 2) as usize;
         let t = SimTime::from_millis(k * 10);
         let event = if k % 3 == 0 {
-            Event::Downlink { station, payload: 1400 }
+            Event::Downlink {
+                station,
+                payload: 1400,
+            }
         } else {
-            Event::Uplink { station, payload: 200 + (k as usize % 5) * 100 }
+            Event::Uplink {
+                station,
+                payload: 200 + (k as usize % 5) * 100,
+            }
         };
         queue.schedule(t, event).unwrap();
     }
@@ -67,7 +81,8 @@ fn two_station_bss_with_eavesdropper() {
         match scheduled.payload {
             Event::Uplink { station, payload } => {
                 let sta = &mut stations[station];
-                let frame = sta.build_uplink_frame(sta.physical_addr(), bssid(), vec![0u8; payload]);
+                let frame =
+                    sta.build_uplink_frame(sta.physical_addr(), bssid(), vec![0u8; payload]);
                 // Airtime is well-defined for the selected rate.
                 assert!(PhyRate::Mbps54.airtime(frame.air_size()) > SimDuration::ZERO);
                 sniffer.observe(
@@ -85,7 +100,11 @@ fn two_station_bss_with_eavesdropper() {
             }
             Event::Downlink { station, payload } => {
                 let sta_addr = stations[station].physical_addr();
-                let from_ds = Frame::data(MacAddress::new([0xde, 0xad, 0, 0, 0, 9]), sta_addr, vec![0u8; payload]);
+                let from_ds = Frame::data(
+                    MacAddress::new([0xde, 0xad, 0, 0, 0, 9]),
+                    sta_addr,
+                    vec![0u8; payload],
+                );
                 let on_air = ap.translate_downlink(&from_ds, sta_addr).unwrap();
                 assert_eq!(on_air.header().frame_type(), FrameType::Data);
                 sniffer.observe(
@@ -117,14 +136,19 @@ fn two_station_bss_with_eavesdropper() {
     for station in &stations {
         let flow = &flows[&station.physical_addr()];
         assert!(!flow.is_empty());
-        assert!(flow.iter().all(|c| c.rssi_dbm < -20.0 && c.rssi_dbm > -95.0));
+        assert!(flow
+            .iter()
+            .all(|c| c.rssi_dbm < -20.0 && c.rssi_dbm > -95.0));
     }
 
     // RSSI clustering separates the two transmitters (they sit at different distances).
     let rssi = sniffer.mean_rssi_by_device();
     assert_eq!(rssi.len(), 2);
     let values: Vec<f64> = rssi.values().copied().collect();
-    assert!((values[0] - values[1]).abs() > 0.5, "distinct positions give distinct mean RSSI");
+    assert!(
+        (values[0] - values[1]).abs() > 0.5,
+        "distinct positions give distinct mean RSSI"
+    );
 }
 
 #[test]

@@ -39,7 +39,11 @@ fn main() {
     println!("training the SVM/NN adversary on original traffic …");
     let training = corpus(1, 3, 120.0);
     let train_set = build_dataset(&training, window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
-    println!("  {} training windows, {} features each", train_set.len(), train_set.dim());
+    println!(
+        "  {} training windows, {} features each",
+        train_set.len(),
+        train_set.dim()
+    );
     let adversary = AdversaryEnsemble::train(&train_set, &EnsembleConfig::default());
 
     // --- Evaluate against original traffic. ----------------------------------

@@ -47,10 +47,18 @@ fn main() {
 
     // Padding and morphing: single flow, extra bytes.
     let (padded, pad_overhead) = PacketPadder::new().apply(&original);
-    reports.push(DefenseReport { name: "padding to 1576 B", flows: vec![padded], overhead: pad_overhead });
+    reports.push(DefenseReport {
+        name: "padding to 1576 B",
+        flows: vec![padded],
+        overhead: pad_overhead,
+    });
     let (morphed, morph_overhead) =
         TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming).apply(&original);
-    reports.push(DefenseReport { name: "morphing -> gaming", flows: vec![morphed], overhead: morph_overhead });
+    reports.push(DefenseReport {
+        name: "morphing -> gaming",
+        flows: vec![morphed],
+        overhead: morph_overhead,
+    });
 
     // Partitioning defenses: several flows, zero overhead.
     let fh_flows: Vec<Trace> = FrequencyHopper::default()
@@ -58,22 +66,41 @@ fn main() {
         .into_iter()
         .map(|(_, t)| t)
         .collect();
-    reports.push(DefenseReport { name: "frequency hopping", flows: fh_flows, overhead: Overhead::default() });
+    reports.push(DefenseReport {
+        name: "frequency hopping",
+        flows: fh_flows,
+        overhead: Overhead::default(),
+    });
     let pseudonym_flows: Vec<Trace> = PseudonymRotator::default()
         .partition(&original, &mut rng)
         .into_iter()
         .map(|(_, t)| t)
         .collect();
-    reports.push(DefenseReport { name: "MAC pseudonyms", flows: pseudonym_flows, overhead: Overhead::default() });
+    reports.push(DefenseReport {
+        name: "MAC pseudonyms",
+        flows: pseudonym_flows,
+        overhead: Overhead::default(),
+    });
 
     for (name, algorithm) in [
-        ("random assignment (RA)", Box::new(RandomAssign::new(3, 1)) as Box<dyn traffic_reshaping::reshape::scheduler::ReshapeAlgorithm>),
+        (
+            "random assignment (RA)",
+            Box::new(RandomAssign::new(3, 1))
+                as Box<dyn traffic_reshaping::reshape::scheduler::ReshapeAlgorithm>,
+        ),
         ("round robin (RR)", Box::new(RoundRobin::new(3))),
-        ("orthogonal reshaping (OR)", Box::new(OrthogonalRanges::new(SizeRanges::paper_default()))),
+        (
+            "orthogonal reshaping (OR)",
+            Box::new(OrthogonalRanges::new(SizeRanges::paper_default())),
+        ),
     ] {
         let mut reshaper = Reshaper::new(algorithm);
         let flows = reshaper.reshape(&original).sub_traces().to_vec();
-        reports.push(DefenseReport { name, flows, overhead: Overhead::default() });
+        reports.push(DefenseReport {
+            name,
+            flows,
+            overhead: Overhead::default(),
+        });
     }
 
     println!(

@@ -39,11 +39,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sniffer = Sniffer::new(Position::new(9.0, 2.0), bssid, Channel::CH6);
 
     let clients = [
-        (MacAddress::new([0x00, 0x16, 0x6f, 0, 0, 0x01]), Position::new(4.0, 1.0), AppKind::Video),
-        (MacAddress::new([0x00, 0x21, 0x5c, 0, 0, 0x02]), Position::new(6.0, 3.0), AppKind::BitTorrent),
+        (
+            MacAddress::new([0x00, 0x16, 0x6f, 0, 0, 0x01]),
+            Position::new(4.0, 1.0),
+            AppKind::Video,
+        ),
+        (
+            MacAddress::new([0x00, 0x21, 0x5c, 0, 0, 0x02]),
+            Position::new(6.0, 3.0),
+            AppKind::BitTorrent,
+        ),
     ];
 
-    for (reshaping_on, label) in [(false, "WITHOUT traffic reshaping"), (true, "WITH traffic reshaping (OR, I = 3)")] {
+    for (reshaping_on, label) in [
+        (false, "WITHOUT traffic reshaping"),
+        (true, "WITH traffic reshaping (OR, I = 3)"),
+    ] {
         sniffer.clear();
         println!("=== {label} ===");
         for (mac, position, app) in clients {
@@ -63,7 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let vifs = if reshaping_on {
                 let key = LinkKey::from_seed(u64::from(mac.octets()[5]));
                 let mut config = ConfigClient::new(mac, key);
-                let vifs = run_configuration(&mut config, &mut ap, &ApConfigPolicy::default(), &key, &mut rng, 3)?;
+                let vifs = run_configuration(
+                    &mut config,
+                    &mut ap,
+                    &ApConfigPolicy::default(),
+                    &key,
+                    &mut rng,
+                    3,
+                )?;
                 station.configure_virtual_addrs(&vifs.macs());
                 vifs
             } else {
@@ -84,13 +102,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     (station.position(), station.tx_power_dbm())
                 };
-                sniffer.observe(time, &frame, tx_position, tx_power, Channel::CH6, &medium, &mut rng);
+                sniffer.observe(
+                    time,
+                    &frame,
+                    tx_position,
+                    tx_power,
+                    Channel::CH6,
+                    &medium,
+                    &mut rng,
+                );
             }
         }
 
         // --- What the eavesdropper sees. -------------------------------------
         let flows = sniffer.flows_by_device();
-        println!("the sniffer observes {} distinct device addresses:", flows.len());
+        println!(
+            "the sniffer observes {} distinct device addresses:",
+            flows.len()
+        );
         let mut devices: Vec<_> = flows.keys().copied().collect();
         devices.sort();
         for device in devices {
@@ -102,8 +131,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  {device}: {:6} frames, mean size {:7.1} B, mean RSSI {:6.1} dBm",
                 captures.len(),
-                mean
-            , rssi);
+                mean,
+                rssi
+            );
         }
         println!();
     }

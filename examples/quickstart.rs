@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut reshaper = Reshaper::new(Box::new(scheduler));
     let outcome = reshaper.reshape(&trace);
 
-    println!("\nafter Orthogonal Reshaping over {} interfaces:", outcome.interface_count());
+    println!(
+        "\nafter Orthogonal Reshaping over {} interfaces:",
+        outcome.interface_count()
+    );
     for (i, sub) in outcome.sub_traces().iter().enumerate() {
         println!(
             "  interface {}: {:6} packets, mean size {:7.1} B, mean downlink gap {:.4} s",

@@ -76,7 +76,12 @@ pub fn captures_to_trace(
             } else {
                 Direction::Uplink
             };
-            PacketRecord::new(c.time, c.size, direction, label.unwrap_or(AppKind::Browsing))
+            PacketRecord::new(
+                c.time,
+                c.size,
+                direction,
+                label.unwrap_or(AppKind::Browsing),
+            )
         })
         .collect();
     let mut trace = Trace::from_packets(label, packets);
@@ -119,7 +124,10 @@ mod tests {
         assert_eq!(f_up.air_size(), 200);
         // Tiny packets are clamped to the MAC overhead.
         let tiny = PacketRecord::at_secs(0.2, 10, Direction::Uplink, AppKind::Video);
-        assert_eq!(packet_to_frame(&tiny, station(), ap()).air_size(), MAC_OVERHEAD_BYTES);
+        assert_eq!(
+            packet_to_frame(&tiny, station(), ap()).air_size(),
+            MAC_OVERHEAD_BYTES
+        );
     }
 
     #[test]

@@ -41,9 +41,14 @@ fn configuration_round_trips_through_encoded_frames() {
         Payload::Sealed(s) => s.clone(),
         other => panic!("expected a sealed payload, got {other:?}"),
     };
-    let (sealed_response, response) =
-        ap_handle_request(&mut ap, &ApConfigPolicy::default(), &key, &mut rng, &sealed_request)
-            .unwrap();
+    let (sealed_response, response) = ap_handle_request(
+        &mut ap,
+        &ApConfigPolicy::default(),
+        &key,
+        &mut rng,
+        &sealed_request,
+    )
+    .unwrap();
     assert_eq!(response.virtual_addrs.len(), 3);
 
     // The response travels back as an encoded frame too.
@@ -62,7 +67,9 @@ fn configuration_round_trips_through_encoded_frames() {
     let mut table = TranslationTable::new();
     table.install(client(), &vifs);
     let downlink = Frame::data(bssid(), client(), vec![0u8; 1200]);
-    let on_air = table.translate_downlink(&downlink, VifIndex::new(1)).unwrap();
+    let on_air = table
+        .translate_downlink(&downlink, VifIndex::new(1))
+        .unwrap();
     assert_eq!(on_air.header().dst(), vifs.macs()[1]);
     assert_eq!(ap.resolve_physical(on_air.header().dst()), Some(client()));
     let delivered = table.deliver_to_upper_layers(&on_air).unwrap();
@@ -82,9 +89,14 @@ fn an_eavesdropper_cannot_read_the_assigned_addresses_from_the_air() {
         Payload::Sealed(s) => s.clone(),
         _ => unreachable!(),
     };
-    let (sealed_response, response) =
-        ap_handle_request(&mut ap, &ApConfigPolicy::default(), &key, &mut rng, &sealed_request)
-            .unwrap();
+    let (sealed_response, response) = ap_handle_request(
+        &mut ap,
+        &ApConfigPolicy::default(),
+        &key,
+        &mut rng,
+        &sealed_request,
+    )
+    .unwrap();
 
     // The eavesdropper sees only ciphertext; none of the assigned virtual MAC
     // addresses appear as a byte substring of either captured payload.
@@ -103,6 +115,10 @@ fn an_eavesdropper_cannot_read_the_assigned_addresses_from_the_air() {
     // Without the link key the response cannot be opened at all.
     let wrong_key = LinkKey::from_seed(8);
     let mut eavesdropper_client = ConfigClient::new(client(), wrong_key);
-    let (_frame, _) = eavesdropper_client.build_request(&mut rng, bssid(), 3).unwrap();
-    assert!(eavesdropper_client.accept_response(&sealed_response).is_err());
+    let (_frame, _) = eavesdropper_client
+        .build_request(&mut rng, bssid(), 3)
+        .unwrap();
+    assert!(eavesdropper_client
+        .accept_response(&sealed_response)
+        .is_err());
 }

@@ -48,7 +48,11 @@ fn orthogonal_reshaping_halves_the_adversarys_mean_accuracy() {
     let evaluation = corpus(20, 1, 60.0);
 
     let train_set = build_dataset(&training, window, DEFAULT_MIN_PACKETS, FeatureMode::Full);
-    assert!(train_set.len() > 50, "training set too small: {}", train_set.len());
+    assert!(
+        train_set.len() > 50,
+        "training set too small: {}",
+        train_set.len()
+    );
     let adversary = AdversaryEnsemble::train(&train_set, &EnsembleConfig::default());
 
     // Original traffic.
@@ -103,7 +107,9 @@ fn under_reshaping_false_positives_concentrate_on_small_and_large_packet_apps() 
     let (_, matrix) = adversary.evaluate_best(&eval_or);
 
     let fp = |app: AppKind| matrix.false_positive_rate(app.class_index());
-    let absorbers = fp(AppKind::Chatting) + fp(AppKind::Downloading) + fp(AppKind::Uploading)
+    let absorbers = fp(AppKind::Chatting)
+        + fp(AppKind::Downloading)
+        + fp(AppKind::Uploading)
         + fp(AppKind::Video);
     let others = fp(AppKind::Browsing) + fp(AppKind::Gaming) + fp(AppKind::BitTorrent);
     assert!(

@@ -44,8 +44,15 @@ fn run_session(reshaping: bool) -> Sniffer {
     let vifs = if reshaping {
         let key = LinkKey::from_seed(5);
         let mut config = ConfigClient::new(client_mac(), key);
-        let vifs = run_configuration(&mut config, &mut ap, &ApConfigPolicy::default(), &key, &mut rng, 3)
-            .expect("configuration succeeds for an associated station");
+        let vifs = run_configuration(
+            &mut config,
+            &mut ap,
+            &ApConfigPolicy::default(),
+            &key,
+            &mut rng,
+            3,
+        )
+        .expect("configuration succeeds for an associated station");
         station.configure_virtual_addrs(&vifs.macs());
         vifs
     } else {
@@ -58,7 +65,9 @@ fn run_session(reshaping: bool) -> Sniffer {
         SizeRanges::paper_default(),
         interfaces,
     )));
-    for (time, frame) in bridge::trace_to_frames(&trace, &mut reshaper, &vifs, client_mac(), bssid()) {
+    for (time, frame) in
+        bridge::trace_to_frames(&trace, &mut reshaper, &vifs, client_mac(), bssid())
+    {
         let from_ap = frame.header().src() == bssid();
         let (pos, power) = if from_ap {
             (ap.position(), ap.tx_power_dbm())
@@ -69,7 +78,9 @@ fn run_session(reshaping: bool) -> Sniffer {
         // The station accepts every downlink frame addressed to any of its
         // virtual interfaces and translates it back to the physical address.
         if from_ap {
-            let delivered = station.receive(&frame).expect("frame addressed to this station");
+            let delivered = station
+                .receive(&frame)
+                .expect("frame addressed to this station");
             assert_eq!(delivered.header().dst(), client_mac());
         }
     }
@@ -91,7 +102,11 @@ fn without_reshaping_the_sniffer_sees_one_device_with_the_app_signature() {
 fn with_reshaping_the_sniffer_sees_three_devices_with_alien_signatures() {
     let sniffer = run_session(true);
     let flows = sniffer.flows_by_device();
-    assert_eq!(flows.len(), 3, "three virtual interfaces, three apparent devices");
+    assert_eq!(
+        flows.len(),
+        3,
+        "three virtual interfaces, three apparent devices"
+    );
     let mut means: Vec<f64> = flows
         .values()
         .map(|flow| flow.iter().map(|c| c.size).sum::<usize>() as f64 / flow.len() as f64)
@@ -115,5 +130,8 @@ fn with_reshaping_the_sniffer_sees_three_devices_with_alien_signatures() {
 fn total_captured_bytes_are_identical_with_and_without_reshaping() {
     let without: usize = run_session(false).captures().iter().map(|c| c.size).sum();
     let with: usize = run_session(true).captures().iter().map(|c| c.size).sum();
-    assert_eq!(without, with, "traffic reshaping must not add a single byte");
+    assert_eq!(
+        without, with,
+        "traffic reshaping must not add a single byte"
+    );
 }

@@ -29,20 +29,31 @@ fn table2_shape_original_high_partitioning_weak_or_strong() {
         or < original * 0.66,
         "OR ({or}) should cut accuracy by at least a third vs original ({original})"
     );
-    assert!(or < fh && or < ra && or < rr, "OR must be the strongest defense");
+    assert!(
+        or < fh && or < ra && or < rr,
+        "OR must be the strongest defense"
+    );
 }
 
 #[test]
 fn table4_shape_or_raises_false_positives() {
     let table = table4(&ExperimentConfig::quick());
-    assert!(table.mean.1 > table.mean.0, "OR FP {} vs original FP {}", table.mean.1, table.mean.0);
+    assert!(
+        table.mean.1 > table.mean.0,
+        "OR FP {} vs original FP {}",
+        table.mean.1,
+        table.mean.0
+    );
 }
 
 #[test]
 fn table6_shape_padding_expensive_morphing_cheaper_reshaping_free() {
     let table = table6(&ExperimentConfig::quick());
     let (acc_pad_morph, acc_or, pad, morph) = table.mean;
-    assert!(pad > morph, "padding ({pad}%) must cost more than morphing ({morph}%)");
+    assert!(
+        pad > morph,
+        "padding ({pad}%) must cost more than morphing ({morph}%)"
+    );
     assert!(pad > 50.0, "padding overhead should be large, got {pad}%");
     assert!(
         acc_pad_morph > acc_or,

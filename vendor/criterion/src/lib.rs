@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface the `bench` crate uses
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, throughput,
+//! `Bencher::iter`) on top of plain `std::time::Instant` wall-clock timing.
+//! No statistics engine, no report directory — each benchmark prints one
+//! line with mean time per iteration and derived throughput.
+//!
+//! `cargo bench --no-run` (the CI gate) only needs this to compile; a real
+//! `cargo bench` run produces quick, rough numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate the work done per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per invocation of `iter`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        black_box(&out);
+        self.samples.push(start.elapsed());
+        self.iters_per_sample = 1;
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    // Warm-up pass (not recorded).
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("  {name}: no samples (closure never called iter)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let mut line = format!("  {name}: {} samples, mean {mean:?}", bencher.samples.len());
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(", {:.0} elem/s", n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(", {:.0} B/s", n as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness flags like `--bench` that cargo passes through.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
