@@ -1,6 +1,6 @@
 # Local targets mirroring the CI jobs so local and CI runs are identical.
 
-.PHONY: verify build test fmt lint bench-compile examples ci
+.PHONY: verify build test fmt lint bench-compile bench-json examples ci
 
 # The tier-1 gate: exactly what the driver and the CI `test` job run.
 verify:
@@ -20,6 +20,11 @@ lint:
 
 bench-compile:
 	cargo bench --no-run --workspace
+
+# Quick throughput baseline (streaming vs batch data plane); refreshes the
+# committed BENCH_pipeline.json. Non-blocking in CI.
+bench-json:
+	cargo run --release -p bench --bin bench_json BENCH_pipeline.json
 
 examples:
 	cargo build --examples

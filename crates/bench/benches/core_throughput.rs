@@ -4,6 +4,7 @@
 
 use classifier::features::FeatureVector;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
 use reshape_core::scheduler::{
@@ -11,6 +12,7 @@ use reshape_core::scheduler::{
 };
 use traffic_gen::app::AppKind;
 use traffic_gen::generator::SessionGenerator;
+use traffic_gen::stream::PacketSource;
 
 type AlgorithmFactory = Box<dyn Fn() -> Box<dyn ReshapeAlgorithm>>;
 
@@ -52,6 +54,35 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_streaming_vs_batch_data_plane(c: &mut Criterion) {
+    // The tentpole comparison: the same packets through the batch reshaper
+    // (materialises sub-traces + assignments) versus the streaming engine
+    // (touches each packet once, O(interfaces) state).
+    let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(60.0);
+    let mut group = c.benchmark_group("reshape_data_plane");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let mut reshaper =
+                Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+            std::hint::black_box(reshaper.reshape(std::hint::black_box(&trace)))
+        })
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| {
+            let mut online =
+                OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+            let mut source = std::hint::black_box(&trace).stream();
+            while let Some(packet) = source.next_packet() {
+                std::hint::black_box(online.assign(&packet));
+            }
+            std::hint::black_box(online.packets_seen())
+        })
+    });
+    group.finish();
+}
+
 fn bench_feature_extraction(c: &mut Criterion) {
     let trace = SessionGenerator::new(AppKind::Downloading, 2).generate_secs(5.0);
     let mut group = c.benchmark_group("feature_extraction");
@@ -62,5 +93,10 @@ fn bench_feature_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_feature_extraction);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_streaming_vs_batch_data_plane,
+    bench_feature_extraction
+);
 criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Quick throughput baseline: batch vs streaming data plane, as JSON.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_json [OUTPUT.json]
+//! ```
+//!
+//! Measures packets/second through the `core_throughput` pipeline twice —
+//! once over the batch path (materialise sub-traces and window copies) and
+//! once over the streaming path (one pass, O(interfaces) state) — and writes
+//! a small machine-readable baseline (default `BENCH_pipeline.json`) so the
+//! performance trajectory of the data plane is recorded PR over PR. Wired
+//! into CI as a non-blocking step via `make bench-json`.
+
+use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
+use reshape_core::online::OnlineReshaper;
+use reshape_core::ranges::SizeRanges;
+use reshape_core::reshaper::Reshaper;
+use reshape_core::scheduler::OrthogonalRanges;
+use traffic_gen::app::AppKind;
+use traffic_gen::generator::SessionGenerator;
+use traffic_gen::stream::PacketSource;
+use traffic_gen::trace::Trace;
+use wlan_sim::time::SimDuration;
+
+const WARMUP_ITERS: usize = 3;
+const MEASURE_ITERS: usize = 15;
+
+fn or_scheduler() -> Box<OrthogonalRanges> {
+    Box::new(OrthogonalRanges::new(SizeRanges::paper_default()))
+}
+
+/// Best-of-N packets/second for one pipeline body.
+fn measure<F: FnMut() -> usize>(mut body: F) -> (f64, usize) {
+    let mut packets = 0;
+    for _ in 0..WARMUP_ITERS {
+        packets = body();
+    }
+    let mut best_pps = 0.0f64;
+    for _ in 0..MEASURE_ITERS {
+        let start = std::time::Instant::now();
+        let n = body();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best_pps = best_pps.max(n as f64 / secs);
+        packets = n;
+    }
+    (best_pps, packets)
+}
+
+/// Batch reshape: whole-trace partition into sub-traces + assignment log.
+fn batch_reshape(trace: &Trace) -> usize {
+    let mut reshaper = Reshaper::new(or_scheduler());
+    let outcome = std::hint::black_box(reshaper.reshape(trace));
+    outcome.total_packets()
+}
+
+/// Streaming reshape: one pass, no materialisation.
+fn streaming_reshape(trace: &Trace) -> usize {
+    let mut online = OnlineReshaper::new(or_scheduler());
+    let mut source = trace.stream();
+    while let Some(packet) = source.next_packet() {
+        std::hint::black_box(online.assign(&packet));
+    }
+    online.packets_seen() as usize
+}
+
+/// Batch evaluation: reshape, materialise sub-traces, window each copy.
+fn batch_evaluate(trace: &Trace, window: SimDuration) -> usize {
+    let mut reshaper = Reshaper::new(or_scheduler());
+    let outcome = reshaper.reshape(trace);
+    let mut examples = 0;
+    for sub in outcome.sub_traces() {
+        examples += windowed_examples(sub, window, DEFAULT_MIN_PACKETS, FeatureMode::Full).len();
+    }
+    std::hint::black_box(examples);
+    trace.len()
+}
+
+/// Streaming evaluation: reshape + window in a single pass over the packets.
+fn streaming_evaluate(trace: &Trace, window: SimDuration) -> usize {
+    let app = trace.app().expect("bench trace is labelled");
+    let mut online = OnlineReshaper::new(or_scheduler());
+    let mut windowers: Vec<_> = (0..online.interface_count())
+        .map(|_| {
+            classifier::stream::StreamingWindower::for_app(
+                window,
+                DEFAULT_MIN_PACKETS,
+                FeatureMode::Full,
+                app,
+            )
+        })
+        .collect();
+    let mut examples = 0;
+    let mut source = trace.stream();
+    while let Some(packet) = source.next_packet() {
+        let vif = online.assign(&packet);
+        if windowers[vif.index()].push(&packet).is_some() {
+            examples += 1;
+        }
+    }
+    for windower in &mut windowers {
+        if windower.finish().is_some() {
+            examples += 1;
+        }
+    }
+    std::hint::black_box(examples);
+    trace.len()
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    // The same workload as the `core_throughput` criterion bench.
+    let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(60.0);
+    let window = SimDuration::from_secs(5);
+
+    let (reshape_batch_pps, packets) = measure(|| batch_reshape(&trace));
+    let (reshape_streaming_pps, _) = measure(|| streaming_reshape(&trace));
+    let (eval_batch_pps, _) = measure(|| batch_evaluate(&trace, window));
+    let (eval_streaming_pps, _) = measure(|| streaming_evaluate(&trace, window));
+
+    let reshape_speedup = reshape_streaming_pps / reshape_batch_pps;
+    let eval_speedup = eval_streaming_pps / eval_batch_pps;
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"BitTorrent 60s, OR over 3 vifs, W=5s\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2}\n}}\n"
+    );
+    std::fs::write(&output, &json).expect("write baseline json");
+    println!("{json}");
+    println!("wrote {output}");
+    if reshape_speedup < 1.5 {
+        eprintln!(
+            "WARNING: streaming reshape speedup {reshape_speedup:.2}x is below the 1.5x target"
+        );
+    }
+}

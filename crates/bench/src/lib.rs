@@ -19,6 +19,7 @@
 //! | §V-A (power analysis / TPC)          | [`power::power_analysis`] |
 //! | §V-C (reshaping + morphing)          | [`tables::combined_defense`] |
 //! | Ablations (scheduler flavour, interface count) | [`ablation`] |
+//! | Streaming scenarios (long sessions, multi-station) | [`streaming`] |
 //!
 //! The `experiments` binary prints all of them; the Criterion benches under
 //! `benches/` measure the runtime cost of each pipeline.
@@ -32,7 +33,9 @@ pub mod figures;
 pub mod pipeline;
 pub mod power;
 pub mod report;
+pub mod streaming;
 pub mod tables;
 
 pub use corpus::ExperimentConfig;
 pub use pipeline::DefenseKind;
+pub use streaming::{StationReport, StationSpec};

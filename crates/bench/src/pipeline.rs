@@ -11,18 +11,28 @@
 //! That is exactly the paper's methodology: the adversary knows what original
 //! application traffic looks like, and the defense succeeds when per-interface
 //! sub-flows no longer resemble it.
+//!
+//! The evaluation runs over the **streaming** data plane: every evaluation
+//! trace is one shard (scoped thread) that pulls packets through an
+//! [`OnlineReshaper`] into per-interface
+//! [`StreamingWindower`]s, so a packet is
+//! touched exactly once — no sub-trace or window materialisation. Defenses
+//! that rewrite traffic (padding, morphing, FH, pseudonyms) still transform
+//! the trace first, then stream the result through the windower.
 
 use classifier::dataset::Dataset;
 use classifier::ensemble::{AdversaryEnsemble, EnsembleConfig};
 use classifier::features::FEATURE_DIM;
 use classifier::metrics::ConfusionMatrix;
-use classifier::window::{build_dataset, windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
+use classifier::stream::{streamed_examples, StreamingWindower, WindowExample};
+use classifier::window::{build_dataset, FeatureMode, DEFAULT_MIN_PACKETS};
 use defenses::frequency_hopping::FrequencyHopper;
 use defenses::morphing::{paper_morphing_target, TrafficMorpher};
 use defenses::padding::PacketPadder;
 use defenses::pseudonym::PseudonymRotator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
 use reshape_core::scheduler::{
@@ -31,6 +41,7 @@ use reshape_core::scheduler::{
 use serde::{Deserialize, Serialize};
 use traffic_gen::app::AppKind;
 use traffic_gen::generator::SessionGenerator;
+use traffic_gen::stream::PacketSource;
 use traffic_gen::trace::Trace;
 
 use crate::corpus::ExperimentConfig;
@@ -98,6 +109,30 @@ pub fn train_adversary(config: &ExperimentConfig, mode: FeatureMode) -> Adversar
     )
 }
 
+/// The scheduling algorithm behind a reshaping defense, or `None` for the
+/// defenses that transform traffic instead of partitioning it over virtual
+/// interfaces.
+pub fn reshape_algorithm(
+    defense: DefenseKind,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Option<Box<dyn ReshapeAlgorithm>> {
+    match defense {
+        DefenseKind::Random => Some(Box::new(RandomAssign::new(config.interfaces, seed))),
+        DefenseKind::RoundRobin => Some(Box::new(RoundRobin::new(config.interfaces))),
+        DefenseKind::Orthogonal => Some(Box::new(OrthogonalRanges::new(
+            SizeRanges::for_interface_count(config.interfaces)
+                .expect("experiment interface count is valid"),
+        ))),
+        DefenseKind::OrthogonalModulo => Some(Box::new(OrthogonalModulo::new(config.interfaces))),
+        DefenseKind::None
+        | DefenseKind::FrequencyHopping
+        | DefenseKind::Pseudonym
+        | DefenseKind::Padding
+        | DefenseKind::Morphing => None,
+    }
+}
+
 /// Applies a defense to one labelled trace, returning the sub-flows the
 /// adversary observes. Each sub-flow keeps the ground-truth label so the
 /// evaluation can score predictions.
@@ -107,6 +142,12 @@ pub fn apply_defense(
     config: &ExperimentConfig,
     seed: u64,
 ) -> Vec<Trace> {
+    if let Some(algorithm) = reshape_algorithm(defense, config, seed) {
+        return Reshaper::new(algorithm)
+            .reshape(trace)
+            .sub_traces()
+            .to_vec();
+    }
     match defense {
         DefenseKind::None => vec![trace.clone()],
         DefenseKind::FrequencyHopping => FrequencyHopper::default()
@@ -114,22 +155,6 @@ pub fn apply_defense(
             .into_iter()
             .map(|(_, t)| t)
             .collect(),
-        DefenseKind::Random => {
-            reshape_with(Box::new(RandomAssign::new(config.interfaces, seed)), trace)
-        }
-        DefenseKind::RoundRobin => {
-            reshape_with(Box::new(RoundRobin::new(config.interfaces)), trace)
-        }
-        DefenseKind::Orthogonal => reshape_with(
-            Box::new(OrthogonalRanges::new(
-                SizeRanges::for_interface_count(config.interfaces)
-                    .expect("experiment interface count is valid"),
-            )),
-            trace,
-        ),
-        DefenseKind::OrthogonalModulo => {
-            reshape_with(Box::new(OrthogonalModulo::new(config.interfaces)), trace)
-        }
         DefenseKind::Pseudonym => {
             let mut rng = StdRng::seed_from_u64(seed);
             PseudonymRotator::default()
@@ -150,18 +175,72 @@ pub fn apply_defense(
                     .0,
             ]
         }
+        DefenseKind::Random
+        | DefenseKind::RoundRobin
+        | DefenseKind::Orthogonal
+        | DefenseKind::OrthogonalModulo => {
+            unreachable!("reshaping defenses handled above")
+        }
     }
 }
 
-fn reshape_with(algorithm: Box<dyn ReshapeAlgorithm>, trace: &Trace) -> Vec<Trace> {
-    Reshaper::new(algorithm)
-        .reshape(trace)
-        .sub_traces()
-        .to_vec()
+/// Streams one evaluation trace through a defense and returns every window
+/// example the adversary observes.
+///
+/// Reshaping defenses run fully online: packets flow through an
+/// [`OnlineReshaper`] into one [`StreamingWindower`] per virtual interface,
+/// touching each packet exactly once. Transforming defenses (padding,
+/// morphing, FH, pseudonyms) rewrite the trace first and stream the observed
+/// sub-flows through the windower.
+pub fn defended_examples(
+    trace: &Trace,
+    defense: DefenseKind,
+    config: &ExperimentConfig,
+    seed: u64,
+    mode: FeatureMode,
+) -> Vec<WindowExample> {
+    let Some(app) = trace.app() else {
+        return Vec::new();
+    };
+    if let Some(algorithm) = reshape_algorithm(defense, config, seed) {
+        let mut online = OnlineReshaper::new(algorithm);
+        let mut windowers: Vec<StreamingWindower> = (0..online.interface_count())
+            .map(|_| StreamingWindower::for_app(config.window(), DEFAULT_MIN_PACKETS, mode, app))
+            .collect();
+        let mut out = Vec::new();
+        let mut source = trace.stream();
+        while let Some(packet) = source.next_packet() {
+            let vif = online.assign(&packet);
+            if let Some(example) = windowers[vif.index()].push(&packet) {
+                out.push(example);
+            }
+        }
+        for windower in &mut windowers {
+            out.extend(windower.finish());
+        }
+        return out;
+    }
+    let mut out = Vec::new();
+    for observed in apply_defense(trace, defense, config, seed) {
+        out.extend(streamed_examples(
+            &mut observed.stream(),
+            app,
+            config.window(),
+            DEFAULT_MIN_PACKETS,
+            mode,
+        ));
+    }
+    out
 }
 
 /// Evaluates one defense: the adversary classifies every window of every
 /// observed sub-flow; the resulting confusion matrix is returned.
+///
+/// The evaluation is sharded with scoped threads — one shard per evaluation
+/// trace, at most `available_parallelism` in flight — and each shard streams
+/// its trace through the defense via [`defended_examples`]. Shard results are
+/// joined in trace order, so the outcome is deterministic regardless of
+/// thread scheduling.
 pub fn evaluate_defense(
     adversary: &AdversaryEnsemble,
     eval_traces: &[Trace],
@@ -169,33 +248,37 @@ pub fn evaluate_defense(
     config: &ExperimentConfig,
     mode: FeatureMode,
 ) -> ConfusionMatrix {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8);
+    let mut shards: Vec<Vec<WindowExample>> = Vec::with_capacity(eval_traces.len());
+    for (batch_index, batch) in eval_traces.chunks(parallelism).enumerate() {
+        shards.extend(std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .enumerate()
+                .map(|(offset, trace)| {
+                    let i = batch_index * parallelism + offset;
+                    let seed = config.eval_seed ^ (i as u64) << 8;
+                    scope.spawn(move || defended_examples(trace, defense, config, seed, mode))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("evaluation shard panicked"))
+                .collect::<Vec<_>>()
+        }));
+    }
     let mut dataset = Dataset::new(FEATURE_DIM);
-    for (i, trace) in eval_traces.iter().enumerate() {
-        for observed in apply_defense(trace, defense, config, config.eval_seed ^ (i as u64) << 8) {
-            for (features, label) in
-                windowed_examples(&observed, config.window(), DEFAULT_MIN_PACKETS, mode)
-            {
-                dataset.push(features, label);
-            }
-        }
+    for (features, label) in shards.into_iter().flatten() {
+        dataset.push(features, label);
     }
     if dataset.is_empty() {
         return ConfusionMatrix::new(AppKind::COUNT);
     }
-    let (_, mut matrix) = adversary.evaluate_best(&dataset);
-    // Make sure the matrix always covers all seven classes for table printing.
-    if matrix.class_count() < AppKind::COUNT {
-        let mut full = ConfusionMatrix::new(AppKind::COUNT);
-        for t in 0..matrix.class_count() {
-            for p in 0..matrix.class_count() {
-                for _ in 0..matrix.count(t, p) {
-                    full.record(t, p);
-                }
-            }
-        }
-        matrix = full;
-    }
-    matrix
+    let (_, matrix) = adversary.evaluate_best(&dataset);
+    // The matrix always covers all seven classes for table printing.
+    matrix.widen_to(AppKind::COUNT)
 }
 
 /// Convenience wrapper: train the adversary and evaluate a set of defenses,
@@ -216,6 +299,40 @@ pub fn run_defense_comparison(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use classifier::window::windowed_examples;
+
+    #[test]
+    fn streaming_evaluation_sees_the_same_windows_as_the_batch_path() {
+        // The sharded streaming evaluation must observe exactly the windows
+        // the batch path (defense -> sub-traces -> windowed_examples) did.
+        let config = ExperimentConfig::quick();
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 5).generate_secs(40.0);
+        for defense in [
+            DefenseKind::None,
+            DefenseKind::Random,
+            DefenseKind::RoundRobin,
+            DefenseKind::Orthogonal,
+            DefenseKind::OrthogonalModulo,
+            DefenseKind::FrequencyHopping,
+            DefenseKind::Padding,
+        ] {
+            let streamed = defended_examples(&trace, defense, &config, 1, FeatureMode::Full);
+            let batch: usize = apply_defense(&trace, defense, &config, 1)
+                .iter()
+                .map(|observed| {
+                    windowed_examples(
+                        observed,
+                        config.window(),
+                        DEFAULT_MIN_PACKETS,
+                        FeatureMode::Full,
+                    )
+                    .len()
+                })
+                .sum();
+            assert_eq!(streamed.len(), batch, "{defense:?} window counts diverge");
+            assert!(!streamed.is_empty(), "{defense:?} produced no examples");
+        }
+    }
 
     #[test]
     fn defense_labels_are_unique() {

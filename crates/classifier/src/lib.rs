@@ -13,6 +13,9 @@
 //!   inter-arrival time statistics, computed separately for downlink and
 //!   uplink.
 //! * [`window`] — cutting flows into eavesdropping windows of `W` seconds.
+//! * [`stream`] — the streaming windower: folds a packet stream into
+//!   per-window running statistics and emits examples on window close,
+//!   without materialising window sub-traces.
 //! * [`dataset`] — labelled datasets, normalisation, stratified splits.
 //! * [`svm`] — a multi-class linear SVM (one-vs-rest, SGD hinge loss).
 //! * [`nn`] — a multi-layer perceptron with one hidden layer.
@@ -50,12 +53,14 @@ pub mod ensemble;
 pub mod features;
 pub mod metrics;
 pub mod nn;
+pub mod stream;
 pub mod svm;
 pub mod window;
 
 pub use dataset::Dataset;
 pub use features::FeatureVector;
 pub use metrics::ConfusionMatrix;
+pub use stream::{streamed_examples, StreamingWindower, WindowExample};
 
 /// A trained multi-class classifier.
 ///

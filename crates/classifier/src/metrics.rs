@@ -62,6 +62,48 @@ impl ConfusionMatrix {
         self.counts[true_label][predicted] += 1;
     }
 
+    /// Records `count` identical classification outcomes at once — the O(1)
+    /// bulk form of [`record`](Self::record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add_counts(&mut self, true_label: usize, predicted: usize, count: u64) {
+        assert!(
+            true_label < self.classes && predicted < self.classes,
+            "label out of range: true {true_label}, predicted {predicted}, classes {}",
+            self.classes
+        );
+        self.counts[true_label][predicted] += count;
+    }
+
+    /// Returns a copy of this matrix widened to `classes` classes, with every
+    /// cell carried over in one addition (no per-instance replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is smaller than the current class count.
+    pub fn widen_to(&self, classes: usize) -> ConfusionMatrix {
+        assert!(
+            classes >= self.classes,
+            "cannot widen a {}-class matrix to {classes} classes",
+            self.classes
+        );
+        if classes == self.classes {
+            return self.clone();
+        }
+        let mut wide = ConfusionMatrix::new(classes);
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                let count = self.counts[t][p];
+                if count > 0 {
+                    wide.add_counts(t, p, count);
+                }
+            }
+        }
+        wide
+    }
+
     /// Merges another matrix into this one.
     ///
     /// # Panics

@@ -1,0 +1,461 @@
+//! Streaming windowing: folding a packet stream into per-window feature
+//! accumulators.
+//!
+//! The batch path cuts a materialised [`Trace`](traffic_gen::trace::Trace)
+//! into window sub-traces and extracts features from each copy — every packet
+//! is touched (and stored) twice. [`StreamingWindower`] instead folds packets
+//! into per-direction **running statistics** (count, min/max/mean/std of
+//! sizes and inter-arrival gaps) and emits a finished example the moment a
+//! window closes. State is O(1) per stream regardless of session length,
+//! which is what lets the evaluation pipeline window infinite sessions.
+//!
+//! Windowing semantics are identical to
+//! [`windowed_examples`](crate::window::windowed_examples) (which now
+//! delegates here): windows are aligned to the first packet of the stream,
+//! empty windows are skipped, windows with fewer than `min_packets` packets
+//! are discarded, and inter-arrival gaps longer than the paper's idle
+//! threshold are excluded (§IV-B). Counts, min/max and means are
+//! bit-identical to the batch two-pass computation; standard deviations use
+//! the running sum-of-squares form and agree to floating-point rounding
+//! (equivalence is property-tested in this module).
+
+use crate::features::{FEATURES_PER_DIRECTION, FEATURE_DIM};
+use crate::window::FeatureMode;
+use traffic_gen::app::AppKind;
+use traffic_gen::packet::{Direction, PacketRecord};
+use traffic_gen::stream::PacketSource;
+use traffic_gen::trace::IDLE_GAP_SECS;
+use wlan_sim::time::{SimDuration, SimTime};
+
+/// Constant-memory summary statistics over a stream of samples.
+///
+/// Matches [`SummaryStats`](traffic_gen::distribution::SummaryStats) exactly
+/// for count/min/max/mean (same accumulation order). The variance is
+/// accumulated over samples *shifted by the first sample* (`d = x − x₀`), so
+/// the `E[d²] − E[d]²` subtraction operates on small, centred values and does
+/// not suffer the catastrophic cancellation of the naive `E[x²] − E[x]²`
+/// form when the data has a large mean and tiny spread (e.g. near-constant
+/// inter-arrival gaps); it agrees with the batch two-pass computation to
+/// floating-point rounding.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+    /// The shift `x₀` (first sample) centring the variance accumulators.
+    shift: f64,
+    /// `Σ (x − x₀)`.
+    shifted_sum: f64,
+    /// `Σ (x − x₀)²`.
+    shifted_sum_sq: f64,
+}
+
+impl RunningStats {
+    /// Absorbs one sample.
+    pub fn push(&mut self, sample: f64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+            self.shift = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.sum += sample;
+        let centred = sample - self.shift;
+        self.shifted_sum += centred;
+        self.shifted_sum_sq += centred * centred;
+        self.count += 1;
+    }
+
+    /// Number of samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 when empty, matching the batch convention).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (0 when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let variance = (self.shifted_sum_sq - self.shifted_sum * self.shifted_sum / n) / n;
+        variance.max(0.0).sqrt()
+    }
+}
+
+/// Per-direction window accumulator: size statistics, inter-arrival
+/// statistics with idle-gap filtering, and the previous packet's timestamp.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirAccumulator {
+    sizes: RunningStats,
+    gaps: RunningStats,
+    last_time_secs: Option<f64>,
+}
+
+impl DirAccumulator {
+    fn absorb(&mut self, packet: &PacketRecord) {
+        self.sizes.push(packet.size as f64);
+        let t = packet.time.as_secs_f64();
+        if let Some(last) = self.last_time_secs {
+            let gap = t - last;
+            if gap <= IDLE_GAP_SECS {
+                self.gaps.push(gap);
+            }
+        }
+        self.last_time_secs = Some(t);
+    }
+
+    fn write_features(&self, values: &mut Vec<f64>) {
+        values.push(self.sizes.count() as f64);
+        values.push(self.sizes.min());
+        values.push(self.sizes.max());
+        values.push(self.sizes.mean());
+        values.push(self.sizes.std_dev());
+        values.push(self.gaps.min());
+        values.push(self.gaps.max());
+        values.push(self.gaps.mean());
+        values.push(self.gaps.std_dev());
+    }
+}
+
+/// One labelled example emitted by the streaming windower.
+pub type WindowExample = (Vec<f64>, usize);
+
+/// Folds a time-ordered packet stream into eavesdropping windows of `W`
+/// seconds and emits one feature-vector example per populated window.
+#[derive(Debug, Clone)]
+pub struct StreamingWindower {
+    window: SimDuration,
+    min_packets: usize,
+    mode: FeatureMode,
+    label: usize,
+    origin: Option<SimTime>,
+    current_index: u64,
+    packets_in_window: usize,
+    down: DirAccumulator,
+    up: DirAccumulator,
+}
+
+impl StreamingWindower {
+    /// Creates a windower emitting examples with class label `label`.
+    pub fn new(window: SimDuration, min_packets: usize, mode: FeatureMode, label: usize) -> Self {
+        StreamingWindower {
+            window,
+            min_packets,
+            mode,
+            label,
+            origin: None,
+            current_index: 0,
+            packets_in_window: 0,
+            down: DirAccumulator::default(),
+            up: DirAccumulator::default(),
+        }
+    }
+
+    /// Creates a windower labelled with an application's class index.
+    pub fn for_app(
+        window: SimDuration,
+        min_packets: usize,
+        mode: FeatureMode,
+        app: AppKind,
+    ) -> Self {
+        Self::new(window, min_packets, mode, app.class_index())
+    }
+
+    /// Number of packets folded into the currently open window.
+    pub fn open_window_len(&self) -> usize {
+        self.packets_in_window
+    }
+
+    /// Folds one packet in; returns a finished example when this packet
+    /// closes the previous window (at most one per call).
+    ///
+    /// Packets must arrive in non-decreasing timestamp order — the order
+    /// every [`PacketSource`] guarantees.
+    pub fn push(&mut self, packet: &PacketRecord) -> Option<WindowExample> {
+        if self.window.is_zero() {
+            return None;
+        }
+        let origin = *self.origin.get_or_insert(packet.time);
+        let index =
+            packet.time.saturating_since(origin).as_micros() / self.window.as_micros().max(1);
+        let emitted = if index != self.current_index && self.packets_in_window > 0 {
+            self.close_window()
+        } else {
+            None
+        };
+        self.current_index = index;
+        match packet.direction {
+            Direction::Downlink => self.down.absorb(packet),
+            Direction::Uplink => self.up.absorb(packet),
+        }
+        self.packets_in_window += 1;
+        emitted
+    }
+
+    /// Closes the trailing window at end of stream, if populated.
+    pub fn finish(&mut self) -> Option<WindowExample> {
+        if self.window.is_zero() || self.packets_in_window == 0 {
+            return None;
+        }
+        self.close_window()
+    }
+
+    fn close_window(&mut self) -> Option<WindowExample> {
+        let packets = std::mem::take(&mut self.packets_in_window);
+        let down = std::mem::take(&mut self.down);
+        let up = std::mem::take(&mut self.up);
+        if packets < self.min_packets {
+            return None;
+        }
+        let mut values = Vec::with_capacity(FEATURE_DIM);
+        down.write_features(&mut values);
+        up.write_features(&mut values);
+        if self.mode == FeatureMode::TimingOnly {
+            for dir in 0..2 {
+                let base = dir * FEATURES_PER_DIRECTION;
+                for i in 1..=4 {
+                    values[base + i] = 0.0;
+                }
+            }
+        }
+        Some((values, self.label))
+    }
+}
+
+/// Drains a packet source through a fresh windower, returning every example.
+///
+/// The streaming counterpart of
+/// [`windowed_examples`](crate::window::windowed_examples); the source is
+/// consumed exactly once.
+pub fn streamed_examples<P: PacketSource + ?Sized>(
+    source: &mut P,
+    app: AppKind,
+    window: SimDuration,
+    min_packets: usize,
+    mode: FeatureMode,
+) -> Vec<WindowExample> {
+    let mut windower = StreamingWindower::for_app(window, min_packets, mode, app);
+    let mut out = Vec::new();
+    while let Some(packet) = source.next_packet() {
+        if let Some(example) = windower.push(&packet) {
+            out.push(example);
+        }
+    }
+    out.extend(windower.finish());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureVector;
+    use proptest::prelude::*;
+    use traffic_gen::generator::SessionGenerator;
+    use traffic_gen::trace::Trace;
+
+    /// The original materialising implementation, kept as the reference the
+    /// streaming path is verified against.
+    fn batch_reference(
+        trace: &Trace,
+        window: SimDuration,
+        min_packets: usize,
+        mode: FeatureMode,
+    ) -> Vec<WindowExample> {
+        let Some(app) = trace.app() else {
+            return Vec::new();
+        };
+        trace
+            .windows(window)
+            .into_iter()
+            .filter(|w| w.len() >= min_packets)
+            .map(|w| {
+                let fv = match mode {
+                    FeatureMode::Full => FeatureVector::from_trace(&w),
+                    FeatureMode::TimingOnly => FeatureVector::timing_only(&w),
+                };
+                (fv.into_values(), app.class_index())
+            })
+            .collect()
+    }
+
+    fn assert_examples_equivalent(streamed: &[WindowExample], batch: &[WindowExample]) {
+        assert_eq!(streamed.len(), batch.len(), "example counts differ");
+        for (i, ((sv, sl), (bv, bl))) in streamed.iter().zip(batch).enumerate() {
+            assert_eq!(sl, bl);
+            assert_eq!(sv.len(), bv.len());
+            for (j, (s, b)) in sv.iter().zip(bv).enumerate() {
+                // Std-dev columns (indices 4 and 8 of each direction block)
+                // use a different but algebraically equal formula; everything
+                // else must match bit-for-bit.
+                let is_std = matches!(j % FEATURES_PER_DIRECTION, 4 | 8);
+                if is_std {
+                    let tol = 1e-9 * b.abs().max(1.0);
+                    assert!(
+                        (s - b).abs() <= tol,
+                        "window {i} feature {j}: streamed {s} vs batch {b}"
+                    );
+                } else {
+                    assert_eq!(s, b, "window {i} feature {j} diverged");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn streaming_matches_batch_windowing(
+            seed in 0u64..60,
+            app_index in 0usize..7,
+            window_secs in prop::sample::select(vec![5.0f64, 12.0, 60.0]),
+            min_packets in 1usize..6,
+        ) {
+            let app = AppKind::ALL[app_index];
+            let trace = SessionGenerator::new(app, seed).generate_secs(90.0);
+            for mode in [FeatureMode::Full, FeatureMode::TimingOnly] {
+                let batch = batch_reference(
+                    &trace,
+                    SimDuration::from_secs_f64(window_secs),
+                    min_packets,
+                    mode,
+                );
+                let streamed = streamed_examples(
+                    &mut trace.stream(),
+                    app,
+                    SimDuration::from_secs_f64(window_secs),
+                    min_packets,
+                    mode,
+                );
+                assert_examples_equivalent(&streamed, &batch);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_gaps_are_filtered_like_the_batch_path() {
+        // 60 s windows around a 9.5 s idle gap: the gap must be excluded from
+        // inter-arrival statistics on both paths.
+        let packets = vec![
+            PacketRecord::at_secs(0.0, 100, Direction::Downlink, AppKind::Browsing),
+            PacketRecord::at_secs(0.5, 120, Direction::Downlink, AppKind::Browsing),
+            PacketRecord::at_secs(10.0, 140, Direction::Downlink, AppKind::Browsing),
+            PacketRecord::at_secs(10.2, 160, Direction::Downlink, AppKind::Browsing),
+        ];
+        let trace = Trace::from_packets(Some(AppKind::Browsing), packets);
+        let window = SimDuration::from_secs(60);
+        let batch = batch_reference(&trace, window, 1, FeatureMode::Full);
+        let streamed = streamed_examples(
+            &mut trace.stream(),
+            AppKind::Browsing,
+            window,
+            1,
+            FeatureMode::Full,
+        );
+        assert_examples_equivalent(&streamed, &batch);
+        // Mean gap = (0.5 + 0.2) / 2, the 9.5 s idle gap dropped.
+        assert!((streamed[0].0[7] - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_emits_nothing() {
+        let trace = SessionGenerator::new(AppKind::Video, 1).generate_secs(5.0);
+        let mut windower =
+            StreamingWindower::for_app(SimDuration::ZERO, 1, FeatureMode::Full, AppKind::Video);
+        for p in trace.packets() {
+            assert!(windower.push(p).is_none());
+        }
+        assert!(windower.finish().is_none());
+    }
+
+    #[test]
+    fn min_packets_discards_sparse_windows_without_stalling() {
+        let trace = SessionGenerator::new(AppKind::Chatting, 5).generate_secs(60.0);
+        let window = SimDuration::from_secs(5);
+        let lenient = streamed_examples(
+            &mut trace.stream(),
+            AppKind::Chatting,
+            window,
+            1,
+            FeatureMode::Full,
+        );
+        let strict = streamed_examples(
+            &mut trace.stream(),
+            AppKind::Chatting,
+            window,
+            8,
+            FeatureMode::Full,
+        );
+        assert!(strict.len() <= lenient.len());
+    }
+
+    #[test]
+    fn running_stats_match_two_pass_summary() {
+        let samples = [108.0, 232.0, 1576.0, 60.0, 900.0];
+        let mut running = RunningStats::default();
+        for s in samples {
+            running.push(s);
+        }
+        let batch = traffic_gen::distribution::SummaryStats::from_samples(&samples);
+        assert_eq!(running.count() as usize, batch.count);
+        assert_eq!(running.min(), batch.min);
+        assert_eq!(running.max(), batch.max);
+        assert_eq!(running.mean(), batch.mean);
+        assert!((running.std_dev() - batch.std_dev).abs() < 1e-9);
+        // Empty stats are all-zero like SummaryStats::default().
+        let empty = RunningStats::default();
+        assert_eq!(
+            (empty.min(), empty.max(), empty.mean(), empty.std_dev()),
+            (0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn running_std_survives_large_mean_with_tiny_spread() {
+        // The naive E[x²]−E[x]² form catastrophically cancels here (both
+        // terms ~1e12, true variance ~2.5e-9); the shifted accumulation must
+        // agree with the batch two-pass result instead of collapsing to 0.
+        let samples: Vec<f64> = (0..1000).map(|i| 1e6 + (i % 2) as f64 * 1e-4).collect();
+        let mut running = RunningStats::default();
+        for &s in &samples {
+            running.push(s);
+        }
+        let batch = traffic_gen::distribution::SummaryStats::from_samples(&samples);
+        assert!(batch.std_dev > 4e-5);
+        assert!(
+            (running.std_dev() - batch.std_dev).abs() / batch.std_dev < 1e-6,
+            "running {} vs batch {}",
+            running.std_dev(),
+            batch.std_dev
+        );
+    }
+}

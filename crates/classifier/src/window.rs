@@ -4,9 +4,16 @@
 //! classifies each window independently (§IV-A). This module turns labelled
 //! traces into [`Dataset`]s by cutting them into windows and extracting the
 //! feature vector of every window.
+//!
+//! Since the streaming refactor the windowing itself is performed by
+//! [`StreamingWindower`](crate::stream::StreamingWindower): packets are folded
+//! into per-window running statistics instead of being copied into
+//! per-window sub-traces, so a trace is traversed exactly once with O(1)
+//! window state.
 
 use crate::dataset::Dataset;
-use crate::features::{FeatureVector, FEATURE_DIM};
+use crate::features::FEATURE_DIM;
+use crate::stream::streamed_examples;
 use traffic_gen::trace::Trace;
 use wlan_sim::time::SimDuration;
 
@@ -37,18 +44,7 @@ pub fn windowed_examples(
     let Some(app) = trace.app() else {
         return Vec::new();
     };
-    trace
-        .windows(window)
-        .into_iter()
-        .filter(|w| w.len() >= min_packets)
-        .map(|w| {
-            let fv = match mode {
-                FeatureMode::Full => FeatureVector::from_trace(&w),
-                FeatureMode::TimingOnly => FeatureVector::timing_only(&w),
-            };
-            (fv.into_values(), app.class_index())
-        })
-        .collect()
+    streamed_examples(&mut trace.stream(), app, window, min_packets, mode)
 }
 
 /// Builds a dataset from many labelled traces.

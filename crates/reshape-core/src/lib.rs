@@ -21,8 +21,12 @@
 //! * [`scheduler`] — the reshaping algorithms: Random (RA), Round-Robin (RR),
 //!   Orthogonal Reshaping over size ranges (OR, Fig. 4) and the size-modulo
 //!   OR variant (Fig. 5).
-//! * [`reshaper`] — the engine that partitions a traffic stream into
-//!   per-interface sub-flows and verifies the zero-overhead invariant.
+//! * [`online`] — the **streaming** engine (Fig. 3's actual data path): one
+//!   packet in, one assignment out, O(interfaces) state, pluggable per-vif
+//!   sub-flow sinks.
+//! * [`reshaper`] — the batch façade over the online engine: partitions a
+//!   whole trace into per-interface sub-flows and verifies the zero-overhead
+//!   invariant.
 //! * [`params`] — parameter selection for `L`, `I` and φ (§III-C3), privacy
 //!   entropy.
 //! * [`power`] — per-packet transmission power control against RSSI linking (§V-A).
@@ -55,6 +59,7 @@
 pub mod combined;
 pub mod config;
 pub mod error;
+pub mod online;
 pub mod optimizer;
 pub mod params;
 pub mod power;
@@ -66,6 +71,7 @@ pub mod translation;
 pub mod vif;
 
 pub use error::{Error, Result};
+pub use online::{NullSink, OnlineReshaper, SubFlowSink, SubTraceCollector};
 pub use ranges::SizeRanges;
 pub use reshaper::{ReshapeOutcome, Reshaper};
 pub use scheduler::{

@@ -1,28 +1,32 @@
-//! The reshaping engine: partitioning a traffic stream into per-interface
+//! The batch reshaping engine: partitioning a whole trace into per-interface
 //! sub-flows.
 //!
-//! [`Reshaper`] wraps a [`ReshapeAlgorithm`] and applies it to a whole
-//! [`Trace`], producing one sub-trace per virtual interface (the sets `S_i`
-//! of §III-C1) together with the realized distributions needed to evaluate
-//! the Eq. 1 objective. Two invariants are enforced and tested:
+//! [`Reshaper`] is a thin wrapper over the streaming
+//! [`OnlineReshaper`](crate::online::OnlineReshaper) — the actual data plane —
+//! that applies it to a whole [`Trace`], producing one sub-trace per virtual
+//! interface (the sets `S_i` of §III-C1) together with the realized
+//! distributions needed to evaluate the Eq. 1 objective. Because both paths
+//! share one engine, batch and streaming assignments are byte-identical for
+//! the same algorithm and seed (property-tested in
+//! `tests/streaming_equivalence.rs`). Two invariants are enforced and tested:
 //!
 //! * **partition**: every packet lands on exactly one interface
 //!   (`∪_i S_i = S`, `S_i ∩ S_j = ∅`), and
 //! * **zero overhead**: the total number of packets and bytes is unchanged —
 //!   reshaping never adds noise traffic.
 
+use crate::online::{OnlineReshaper, SubFlowSink, SubTraceCollector};
 use crate::optimizer::RealizedDistributions;
 use crate::ranges::SizeRanges;
 use crate::scheduler::ReshapeAlgorithm;
 use crate::vif::VifIndex;
-use traffic_gen::packet::PacketRecord;
 use traffic_gen::trace::Trace;
 
 /// The result of reshaping one trace.
 #[derive(Debug)]
 pub struct ReshapeOutcome {
     sub_traces: Vec<Trace>,
-    assignments: Vec<(PacketRecord, VifIndex)>,
+    assignments: Vec<(usize, VifIndex)>,
     realized: RealizedDistributions,
 }
 
@@ -37,9 +41,19 @@ impl ReshapeOutcome {
         self.sub_traces.get(vif.index())
     }
 
-    /// The per-packet assignments in original packet order.
-    pub fn assignments(&self) -> &[(PacketRecord, VifIndex)] {
+    /// The per-packet assignments as `(original packet index, interface)`
+    /// pairs, in original packet order.
+    ///
+    /// Packets are not duplicated here — they already live in the sub-traces;
+    /// use [`assignment_of`](Self::assignment_of) or zip with the original
+    /// trace's packets to recover the full pairing.
+    pub fn assignments(&self) -> &[(usize, VifIndex)] {
         &self.assignments
+    }
+
+    /// The interface assigned to the packet at `index` of the original trace.
+    pub fn assignment_of(&self, index: usize) -> Option<VifIndex> {
+        self.assignments.get(index).map(|&(_, vif)| vif)
     }
 
     /// Number of virtual interfaces.
@@ -65,11 +79,11 @@ impl ReshapeOutcome {
     }
 }
 
-/// Applies a reshaping algorithm to traces.
+/// Applies a reshaping algorithm to whole traces (the batch façade of the
+/// streaming [`OnlineReshaper`]).
 #[derive(Debug)]
 pub struct Reshaper {
-    algorithm: Box<dyn ReshapeAlgorithm>,
-    tracking_ranges: SizeRanges,
+    online: OnlineReshaper,
 }
 
 impl Reshaper {
@@ -77,8 +91,7 @@ impl Reshaper {
     /// over the paper's default size ranges.
     pub fn new(algorithm: Box<dyn ReshapeAlgorithm>) -> Self {
         Reshaper {
-            algorithm,
-            tracking_ranges: SizeRanges::paper_default(),
+            online: OnlineReshaper::new(algorithm),
         }
     }
 
@@ -87,50 +100,44 @@ impl Reshaper {
     /// over equal-width ranges).
     pub fn with_tracking_ranges(algorithm: Box<dyn ReshapeAlgorithm>, ranges: SizeRanges) -> Self {
         Reshaper {
-            algorithm,
-            tracking_ranges: ranges,
+            online: OnlineReshaper::with_tracking_ranges(algorithm, ranges),
         }
     }
 
     /// The number of virtual interfaces of the underlying algorithm.
     pub fn interface_count(&self) -> usize {
-        self.algorithm.interface_count()
+        self.online.interface_count()
     }
 
     /// The name of the underlying algorithm.
     pub fn algorithm_name(&self) -> &'static str {
-        self.algorithm.name()
+        self.online.algorithm_name()
+    }
+
+    /// The streaming engine behind this batch façade; use it directly to
+    /// reshape packet sources without materialising traces.
+    pub fn online_mut(&mut self) -> &mut OnlineReshaper {
+        &mut self.online
     }
 
     /// Reshapes a trace into per-interface sub-flows.
     ///
-    /// The algorithm's per-flow state is reset first, so a single `Reshaper`
-    /// can be reused across traces without leaking state between them.
+    /// The engine is reset first, so a single `Reshaper` can be reused across
+    /// traces without leaking state between them.
     pub fn reshape(&mut self, trace: &Trace) -> ReshapeOutcome {
-        self.algorithm.reset();
-        let interfaces = self.algorithm.interface_count();
-        let mut sub_packets: Vec<Vec<PacketRecord>> = vec![Vec::new(); interfaces];
+        self.online.reset();
+        let interfaces = self.online.interface_count();
+        let mut collector = SubTraceCollector::new(interfaces, trace.app());
         let mut assignments = Vec::with_capacity(trace.len());
-        let mut realized = RealizedDistributions::new(interfaces, self.tracking_ranges.clone());
-        for packet in trace.packets() {
-            let vif = self.algorithm.assign(packet);
-            assert!(
-                vif.index() < interfaces,
-                "algorithm {} returned out-of-range {vif}",
-                self.algorithm.name()
-            );
-            sub_packets[vif.index()].push(*packet);
-            realized.record(vif, packet.size);
-            assignments.push((*packet, vif));
+        for (index, packet) in trace.packets().iter().enumerate() {
+            let vif = self.online.assign(packet);
+            collector.accept(vif, packet);
+            assignments.push((index, vif));
         }
-        let sub_traces = sub_packets
-            .into_iter()
-            .map(|packets| Trace::from_packets(trace.app(), packets))
-            .collect();
         ReshapeOutcome {
-            sub_traces,
+            sub_traces: collector.into_traces(),
             assignments,
-            realized,
+            realized: self.online.realized().clone(),
         }
     }
 }

@@ -19,6 +19,20 @@ pub struct OrthogonalRanges {
     ranges: SizeRanges,
     targets: TargetSet,
     interfaces: usize,
+    /// Precomputed `range -> owning interface` lookup, so the per-packet cost
+    /// on the streaming data plane is one binary search plus one array read
+    /// instead of a scan over the target distributions.
+    owners: Vec<VifIndex>,
+}
+
+fn owner_table(targets: &TargetSet, ranges: &SizeRanges) -> Vec<VifIndex> {
+    (0..ranges.len())
+        .map(|range| {
+            targets
+                .owner_of_range(range)
+                .expect("orthogonal target sets assign every range an owner")
+        })
+        .collect()
 }
 
 impl OrthogonalRanges {
@@ -28,10 +42,12 @@ impl OrthogonalRanges {
         let interfaces = ranges.len();
         let targets = TargetSet::orthogonal(interfaces, ranges.len())
             .expect("ranges are non-empty by construction");
+        let owners = owner_table(&targets, &ranges);
         OrthogonalRanges {
             ranges,
             targets,
             interfaces,
+            owners,
         }
     }
 
@@ -50,10 +66,12 @@ impl OrthogonalRanges {
         );
         let targets = TargetSet::orthogonal(interfaces, ranges.len())
             .expect("validated interface and range counts");
+        let owners = owner_table(&targets, &ranges);
         OrthogonalRanges {
             ranges,
             targets,
             interfaces,
+            owners,
         }
     }
 
@@ -70,10 +88,7 @@ impl OrthogonalRanges {
 
 impl ReshapeAlgorithm for OrthogonalRanges {
     fn assign(&mut self, packet: &PacketRecord) -> VifIndex {
-        let range = self.ranges.range_of(packet.size);
-        self.targets
-            .owner_of_range(range)
-            .expect("orthogonal target sets assign every range an owner")
+        self.owners[self.ranges.range_of(packet.size)]
     }
 
     fn interface_count(&self) -> usize {

@@ -1,0 +1,88 @@
+//! The tentpole guarantee of the streaming data plane: feeding the same
+//! packets through the streaming [`OnlineReshaper`] and the batch
+//! [`Reshaper`] produces **byte-identical** per-packet assignments and
+//! realized distributions, for every scheduling algorithm (RA/RR/OR/OR-mod),
+//! seed and interface count.
+
+use proptest::prelude::*;
+use reshape_core::online::{OnlineReshaper, SubTraceCollector};
+use reshape_core::reshaper::Reshaper;
+use reshape_core::scheduler::AlgorithmKind;
+use reshape_core::vif::VifIndex;
+use traffic_gen::app::AppKind;
+use traffic_gen::generator::SessionGenerator;
+use traffic_gen::stream::{PacketSource, StreamingSession};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn online_and_batch_assignments_are_byte_identical(
+        seed in 0u64..100,
+        interfaces in 1usize..5,
+        app_index in 0usize..7,
+    ) {
+        let app = AppKind::ALL[app_index];
+        let trace = SessionGenerator::new(app, seed).generate_secs(8.0);
+        for kind in AlgorithmKind::ALL {
+            // Batch path: whole-trace reshape.
+            let mut batch = Reshaper::new(kind.build(interfaces, seed));
+            let outcome = batch.reshape(&trace);
+
+            // Streaming path: the same packets pulled one at a time.
+            let mut online = OnlineReshaper::new(kind.build(interfaces, seed));
+            let mut source = trace.stream();
+            let mut streamed: Vec<(usize, VifIndex)> = Vec::new();
+            let mut index = 0usize;
+            while let Some(packet) = source.next_packet() {
+                streamed.push((index, online.assign(&packet)));
+                index += 1;
+            }
+
+            prop_assert_eq!(outcome.assignments(), streamed.as_slice());
+            prop_assert_eq!(outcome.realized(), online.realized());
+            prop_assert_eq!(online.packets_seen() as usize, trace.len());
+            prop_assert_eq!(online.bytes_seen(), trace.total_bytes());
+        }
+    }
+
+    #[test]
+    fn online_collector_rebuilds_the_batch_sub_traces(
+        seed in 0u64..50,
+        interfaces in 1usize..4,
+    ) {
+        // Collecting the streaming sub-flows must reproduce the batch
+        // sub-traces exactly (same packets, same order, same labels).
+        let trace = SessionGenerator::new(AppKind::BitTorrent, seed).generate_secs(6.0);
+        for kind in AlgorithmKind::ALL {
+            let mut batch = Reshaper::new(kind.build(interfaces, seed));
+            let outcome = batch.reshape(&trace);
+
+            let mut online = OnlineReshaper::new(kind.build(interfaces, seed));
+            let mut collector = SubTraceCollector::new(interfaces, trace.app());
+            online.process(&mut trace.stream(), &mut collector);
+            let streamed_subs = collector.into_traces();
+
+            prop_assert_eq!(outcome.sub_traces(), streamed_subs.as_slice());
+        }
+    }
+}
+
+#[test]
+fn streaming_session_reshapes_without_a_trace() {
+    // End-to-end streaming: generator -> online reshaper, no Trace anywhere.
+    // The same seed must give the same assignments on every run.
+    let run = || {
+        let mut session = StreamingSession::bounded(AppKind::Video, 42, 20.0);
+        let mut online = OnlineReshaper::new(AlgorithmKind::OrthogonalRanges.build(3, 42));
+        let mut assignments = Vec::new();
+        while let Some(packet) = session.next_packet() {
+            assignments.push(online.assign(&packet));
+        }
+        (assignments, online.realized().clone())
+    };
+    let (a1, r1) = run();
+    let (a2, r2) = run();
+    assert!(!a1.is_empty());
+    assert_eq!(a1, a2);
+    assert_eq!(r1, r2);
+}

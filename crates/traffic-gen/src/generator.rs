@@ -1,7 +1,8 @@
 //! The [`TrafficModel`] trait and the seeded [`SessionGenerator`].
 
 use crate::app::AppKind;
-use crate::models;
+use crate::models::{self, BidirectionalModel};
+use crate::stream::StreamingSession;
 use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -17,6 +18,15 @@ pub trait TrafficModel: std::fmt::Debug + Send + Sync {
 
     /// Generates a labelled trace spanning `duration_secs` seconds.
     fn generate(&self, rng: &mut dyn RngCore, duration_secs: f64) -> Trace;
+
+    /// The bidirectional flow specification behind this model, when the model
+    /// is expressible as one (all seven calibrated defaults are). Models that
+    /// return `Some` can be generated *lazily* through
+    /// [`StreamingSession`]; custom batch-only models keep the
+    /// default of `None`.
+    fn flow_spec(&self) -> Option<&BidirectionalModel> {
+        None
+    }
 }
 
 /// Convenience wrapper that owns a model and a seed and produces traces.
@@ -64,6 +74,41 @@ impl SessionGenerator {
     pub fn generate_secs(&self, duration_secs: f64) -> Trace {
         let mut rng = StdRng::seed_from_u64(self.seed ^ (self.app().class_index() as u64) << 56);
         self.model.generate(&mut rng, duration_secs)
+    }
+
+    /// Streams a session of `duration_secs` seconds lazily: packets are
+    /// produced one at a time instead of materialising a [`Trace`].
+    ///
+    /// The stream draws per-flow derived RNG streams, so it is
+    /// distribution-identical (not packet-identical) to
+    /// [`generate_secs`](Self::generate_secs); see [`crate::stream`] for the
+    /// equivalence contract of the streaming data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not expose a flow specification
+    /// ([`TrafficModel::flow_spec`] returns `None`).
+    pub fn stream_secs(&self, duration_secs: f64) -> StreamingSession {
+        StreamingSession::from_model(self.streamable_spec(), self.seed, Some(duration_secs))
+    }
+
+    /// Streams an **unbounded** session: an infinite packet source for
+    /// long-running scenarios that can never fit in memory as a batch trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not expose a flow specification.
+    pub fn stream_unbounded(&self) -> StreamingSession {
+        StreamingSession::from_model(self.streamable_spec(), self.seed, None)
+    }
+
+    fn streamable_spec(&self) -> &BidirectionalModel {
+        self.model.flow_spec().unwrap_or_else(|| {
+            panic!(
+                "the {} model does not expose flow specs; implement TrafficModel::flow_spec to stream it",
+                self.app()
+            )
+        })
     }
 
     /// Generates `count` independent session traces, each of `duration_secs`,

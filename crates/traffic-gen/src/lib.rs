@@ -44,11 +44,13 @@ pub mod models;
 pub mod packet;
 pub mod profile;
 pub mod sampler;
+pub mod stream;
 pub mod trace;
 
 pub use app::AppKind;
 pub use generator::{SessionGenerator, TrafficModel};
 pub use packet::{Direction, PacketRecord};
+pub use stream::{FlowStream, PacketSource, StreamingSession, TraceStream};
 pub use trace::Trace;
 
 /// Maximum on-air packet size observed in the paper's traces (`ℓ_max`).

@@ -66,6 +66,10 @@ impl TrafficModel for BitTorrentModel {
     fn generate(&self, rng: &mut dyn RngCore, duration_secs: f64) -> Trace {
         self.inner.generate(rng, duration_secs)
     }
+
+    fn flow_spec(&self) -> Option<&BidirectionalModel> {
+        Some(&self.inner)
+    }
 }
 
 #[cfg(test)]

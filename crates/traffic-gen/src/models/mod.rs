@@ -165,7 +165,12 @@ pub fn generate_flow(
     packets
 }
 
-fn make_packet(spec: &FlowSpec, app: AppKind, t: f64, rng: &mut dyn RngCore) -> PacketRecord {
+pub(crate) fn make_packet(
+    spec: &FlowSpec,
+    app: AppKind,
+    t: f64,
+    rng: &mut dyn RngCore,
+) -> PacketRecord {
     let size = spec
         .sizes
         .sample(rng)
@@ -194,6 +199,12 @@ impl BidirectionalModel {
         }
     }
 
+    /// The application (inherent, trait-import-free counterpart of
+    /// [`TrafficModel::app`]).
+    pub fn app_kind(&self) -> AppKind {
+        self.app
+    }
+
     /// The downlink flow spec.
     pub fn downlink(&self) -> &FlowSpec {
         &self.downlink
@@ -214,6 +225,24 @@ impl TrafficModel for BidirectionalModel {
         let mut packets = generate_flow(&self.downlink, self.app, rng, duration_secs);
         packets.extend(generate_flow(&self.uplink, self.app, rng, duration_secs));
         Trace::from_packets(Some(self.app), packets)
+    }
+
+    fn flow_spec(&self) -> Option<&BidirectionalModel> {
+        Some(self)
+    }
+}
+
+/// Returns the calibrated default flow specification for an application (the
+/// substrate of the streaming [`crate::stream::StreamingSession`]).
+pub fn spec_for(app: AppKind) -> BidirectionalModel {
+    match app {
+        AppKind::Browsing => BrowsingModel::default().spec().clone(),
+        AppKind::Chatting => ChattingModel::default().spec().clone(),
+        AppKind::Gaming => GamingModel::default().spec().clone(),
+        AppKind::Downloading => DownloadingModel::default().spec().clone(),
+        AppKind::Uploading => UploadingModel::default().spec().clone(),
+        AppKind::Video => VideoModel::default().spec().clone(),
+        AppKind::BitTorrent => BitTorrentModel::default().spec().clone(),
     }
 }
 

@@ -62,6 +62,10 @@ impl TrafficModel for UploadingModel {
     fn generate(&self, rng: &mut dyn RngCore, duration_secs: f64) -> Trace {
         self.inner.generate(rng, duration_secs)
     }
+
+    fn flow_spec(&self) -> Option<&BidirectionalModel> {
+        Some(&self.inner)
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use traffic_reshaping::reshape::config::{run_configuration, ApConfigPolicy, Conf
 use traffic_reshaping::reshape::ranges::SizeRanges;
 use traffic_reshaping::reshape::reshaper::Reshaper;
 use traffic_reshaping::reshape::scheduler::OrthogonalRanges;
+use traffic_reshaping::reshape::translation::TranslationTable;
 use traffic_reshaping::reshape::vif::VirtualInterfaceSet;
 use traffic_reshaping::traffic::app::AppKind;
 use traffic_reshaping::traffic::generator::SessionGenerator;
@@ -94,7 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 SizeRanges::paper_default(),
                 vifs.len().min(3),
             )));
-            let frames = bridge::trace_to_frames(&trace, &mut reshaper, &vifs, mac, bssid);
+            let mut table = TranslationTable::new();
+            table.install(mac, &vifs);
+            let frames = bridge::trace_to_frames(&trace, &mut reshaper, &table, mac, bssid);
             for (time, frame) in frames {
                 let from_ap = frame.header().src() == bssid;
                 let (tx_position, tx_power) = if from_ap {

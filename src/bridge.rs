@@ -5,16 +5,36 @@
 //! vectors. The bridge converts between those views so the examples and
 //! integration tests can run a *complete* pipeline: application traffic →
 //! reshaping → frames on the air → sniffer captures → classifier input.
+//!
+//! Two data paths are provided:
+//!
+//! * the batch [`trace_to_frames`], which converts a whole materialised
+//!   [`Trace`] at once, and
+//! * the streaming [`FrameStream`] (built by [`stream_frames`]), the online
+//!   Fig. 3 path: packets are pulled from any
+//!   [`PacketSource`], dispatched through the
+//!   [`OnlineReshaper`] and emitted as on-air frames one at a time — memory
+//!   stays O(1) even for unbounded sessions.
+//!
+//! Both paths resolve a packet's virtual MAC through the installed
+//! [`TranslationTable`], exactly as the paper's data path does, and produce
+//! byte-identical frames for the same packets, algorithm and seed.
 
+use crate::reshape::online::OnlineReshaper;
 use crate::reshape::reshaper::Reshaper;
 use crate::reshape::translation::TranslationTable;
-use crate::reshape::vif::VirtualInterfaceSet;
+use crate::reshape::vif::VifIndex;
 use crate::traffic::app::AppKind;
 use crate::traffic::packet::{Direction, PacketRecord};
+use crate::traffic::stream::PacketSource;
 use crate::traffic::trace::Trace;
+use crate::wlan::channel::{Medium, Position};
 use crate::wlan::frame::{Frame, MAC_OVERHEAD_BYTES};
 use crate::wlan::mac::MacAddress;
-use crate::wlan::sniffer::CapturedFrame;
+use crate::wlan::phy::Channel;
+use crate::wlan::sniffer::{CapturedFrame, Sniffer};
+use crate::wlan::time::SimTime;
+use rand::Rng;
 
 /// Converts one packet record into an on-air frame between a station (or one
 /// of its virtual interfaces) and the AP.
@@ -31,30 +51,123 @@ pub fn packet_to_frame(packet: &PacketRecord, station_addr: MacAddress, ap: MacA
     Frame::data_of_air_size(src, dst, air_size)
 }
 
+/// Resolves the on-air address for a packet assigned to `vif`: the station's
+/// virtual MAC from the translation table, falling back to the physical
+/// address when no mapping is installed (reshaping disabled).
+fn on_air_address(table: &TranslationTable, physical: MacAddress, vif: VifIndex) -> MacAddress {
+    table.virtual_of(physical, vif).unwrap_or(physical)
+}
+
 /// Converts a whole trace into frames, dispatching every packet through the
 /// reshaping engine so each frame carries the virtual MAC address chosen by
 /// the scheduler. Returns `(time, frame)` pairs in transmission order.
 ///
-/// The translation table is consulted so the produced frames are exactly what
-/// the paper's Fig. 3 data path would put on the air.
+/// The installed [`TranslationTable`] is the single source of vif→MAC truth —
+/// the produced frames are exactly what the paper's Fig. 3 data path would
+/// put on the air. Stations without an installed mapping transmit under their
+/// physical address.
 pub fn trace_to_frames(
     trace: &Trace,
     reshaper: &mut Reshaper,
-    vifs: &VirtualInterfaceSet,
+    table: &TranslationTable,
     physical: MacAddress,
     ap: MacAddress,
-) -> Vec<(crate::wlan::time::SimTime, Frame)> {
-    let mut table = TranslationTable::new();
-    table.install(physical, vifs);
+) -> Vec<(SimTime, Frame)> {
     let outcome = reshaper.reshape(trace);
-    outcome
-        .assignments()
+    trace
+        .packets()
         .iter()
-        .map(|(packet, vif)| {
-            let addr = vifs.get(*vif).map(|v| v.mac()).unwrap_or(physical);
+        .zip(outcome.assignments())
+        .map(|(packet, &(_, vif))| {
+            let addr = on_air_address(table, physical, vif);
             (packet.time, packet_to_frame(packet, addr, ap))
         })
         .collect()
+}
+
+/// The streaming packets → reshaper → frames adapter.
+///
+/// Pulls packets from a [`PacketSource`], assigns each to a virtual interface
+/// through the [`OnlineReshaper`] and yields the on-air frame immediately:
+/// one packet in flight at a time, no trace materialisation. Create one with
+/// [`stream_frames`].
+#[derive(Debug)]
+pub struct FrameStream<'a, S: PacketSource> {
+    source: S,
+    reshaper: &'a mut OnlineReshaper,
+    table: &'a TranslationTable,
+    physical: MacAddress,
+    ap: MacAddress,
+}
+
+impl<S: PacketSource> FrameStream<'_, S> {
+    /// Packets emitted so far (delegates to the engine's running counter).
+    pub fn packets_emitted(&self) -> u64 {
+        self.reshaper.packets_seen()
+    }
+}
+
+impl<S: PacketSource> Iterator for FrameStream<'_, S> {
+    type Item = (SimTime, Frame);
+
+    fn next(&mut self) -> Option<(SimTime, Frame)> {
+        let packet = self.source.next_packet()?;
+        let vif = self.reshaper.assign(&packet);
+        let addr = on_air_address(self.table, self.physical, vif);
+        Some((packet.time, packet_to_frame(&packet, addr, self.ap)))
+    }
+}
+
+/// Builds the streaming packets → reshaper → frames pipeline over any packet
+/// source. The reshaper is **not** reset, so one engine can span multiple
+/// sources when a session is delivered in segments.
+pub fn stream_frames<'a, S: PacketSource>(
+    source: S,
+    reshaper: &'a mut OnlineReshaper,
+    table: &'a TranslationTable,
+    physical: MacAddress,
+    ap: MacAddress,
+) -> FrameStream<'a, S> {
+    FrameStream {
+        source,
+        reshaper,
+        table,
+        physical,
+        ap,
+    }
+}
+
+/// Feeds a frame stream into a `wlan-sim` sniffer through the PHY model:
+/// every frame is transmitted from the AP's or the station's position
+/// (depending on direction) and captured subject to channel and signal
+/// conditions. Returns the number of frames the sniffer actually captured.
+#[allow(clippy::too_many_arguments)]
+pub fn inject_frames<I, R>(
+    frames: I,
+    sniffer: &mut Sniffer,
+    ap: MacAddress,
+    ap_view: (Position, f64),
+    station_view: (Position, f64),
+    channel: Channel,
+    medium: &Medium,
+    rng: &mut R,
+) -> usize
+where
+    I: IntoIterator<Item = (SimTime, Frame)>,
+    R: Rng + ?Sized,
+{
+    let mut captured = 0;
+    for (time, frame) in frames {
+        let (position, power_dbm) = if frame.header().src() == ap {
+            ap_view
+        } else {
+            station_view
+        };
+        if sniffer.observe(time, &frame, position, power_dbm, channel, medium, rng) {
+            captured += 1;
+        }
+    }
+    captured
 }
 
 /// Converts sniffer captures back into a labelled trace for one observed
@@ -96,8 +209,10 @@ mod tests {
     use super::*;
     use crate::reshape::ranges::SizeRanges;
     use crate::reshape::scheduler::OrthogonalRanges;
+    use crate::reshape::vif::VirtualInterfaceSet;
     use crate::traffic::generator::SessionGenerator;
-    use crate::wlan::phy::Channel;
+    use crate::traffic::stream::StreamingSession;
+    use crate::wlan::channel::PathLossModel;
     use crate::wlan::time::SimTime;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -108,6 +223,21 @@ mod tests {
 
     fn ap() -> MacAddress {
         MacAddress::new([0x00, 0x1f, 0x3a, 0, 0, 0xaa])
+    }
+
+    fn installed_vifs(seed: u64, n: usize) -> (VirtualInterfaceSet, TranslationTable) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let macs: Vec<MacAddress> = (0..n)
+            .map(|_| MacAddress::random_locally_administered(&mut rng))
+            .collect();
+        let vifs = VirtualInterfaceSet::from_macs(&macs);
+        let mut table = TranslationTable::new();
+        table.install(station(), &vifs);
+        (vifs, table)
+    }
+
+    fn or_reshaper() -> Reshaper {
+        Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())))
     }
 
     #[test]
@@ -132,15 +262,11 @@ mod tests {
 
     #[test]
     fn trace_to_frames_uses_virtual_addresses() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let macs: Vec<MacAddress> = (0..3)
-            .map(|_| MacAddress::random_locally_administered(&mut rng))
-            .collect();
-        let vifs = VirtualInterfaceSet::from_macs(&macs);
+        let (vifs, table) = installed_vifs(3, 3);
+        let macs = vifs.macs();
         let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(5.0);
-        let mut reshaper =
-            Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
-        let frames = trace_to_frames(&trace, &mut reshaper, &vifs, station(), ap());
+        let mut reshaper = or_reshaper();
+        let frames = trace_to_frames(&trace, &mut reshaper, &table, station(), ap());
         assert_eq!(frames.len(), trace.len());
         // Every frame involves the AP and one of the virtual addresses.
         for (_, frame) in &frames {
@@ -157,6 +283,98 @@ mod tests {
                 .iter()
                 .any(|(_, f)| f.header().src() == *mac || f.header().dst() == *mac));
         }
+    }
+
+    #[test]
+    fn translation_table_is_the_source_of_vif_addresses() {
+        // Regression test for the dead-table bug: vif→MAC resolution must go
+        // through the *installed* translation table. Each frame's device
+        // address has to be exactly `table.virtual_of(physical, vif)` for the
+        // vif the scheduler picked — recomputed here with an identical,
+        // independently-built scheduler.
+        let (_, table) = installed_vifs(7, 3);
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 2).generate_secs(5.0);
+        let frames = trace_to_frames(&trace, &mut or_reshaper(), &table, station(), ap());
+        let outcome = or_reshaper().reshape(&trace);
+        assert_eq!(frames.len(), outcome.assignments().len());
+        for ((_, frame), &(index, vif)) in frames.iter().zip(outcome.assignments()) {
+            let expected = table
+                .virtual_of(station(), vif)
+                .expect("table maps every scheduled vif");
+            let device = if frame.header().src() == ap() {
+                frame.header().dst()
+            } else {
+                frame.header().src()
+            };
+            assert_eq!(
+                device, expected,
+                "packet {index}: frame must carry the table's address for {vif}"
+            );
+        }
+    }
+
+    #[test]
+    fn uninstalled_station_falls_back_to_its_physical_address() {
+        // No mapping installed: the station transmits under its physical MAC.
+        let table = TranslationTable::new();
+        let trace = SessionGenerator::new(AppKind::Video, 4).generate_secs(3.0);
+        let frames = trace_to_frames(&trace, &mut or_reshaper(), &table, station(), ap());
+        for (_, frame) in &frames {
+            let device = if frame.header().src() == ap() {
+                frame.header().dst()
+            } else {
+                frame.header().src()
+            };
+            assert_eq!(device, station());
+        }
+    }
+
+    #[test]
+    fn streaming_frames_are_byte_identical_to_batch() {
+        // The tentpole equivalence at the bridge layer: same packets, same
+        // algorithm, same seed -> identical frames from both data paths.
+        let (_, table) = installed_vifs(5, 3);
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 9).generate_secs(10.0);
+        let batch = trace_to_frames(&trace, &mut or_reshaper(), &table, station(), ap());
+        let mut online =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let streamed: Vec<(SimTime, Frame)> =
+            stream_frames(trace.stream(), &mut online, &table, station(), ap()).collect();
+        assert_eq!(batch, streamed);
+        assert_eq!(online.packets_seen() as usize, trace.len());
+    }
+
+    #[test]
+    fn frame_stream_feeds_wlan_injection_end_to_end() {
+        // Streaming generator -> online reshaper -> frames -> sniffer:
+        // the full Fig. 3 pipeline without a single materialised trace.
+        let (vifs, table) = installed_vifs(11, 3);
+        let mut online =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let session = StreamingSession::bounded(AppKind::BitTorrent, 21, 10.0);
+        let frames = stream_frames(session, &mut online, &table, station(), ap());
+
+        let medium = Medium::new(PathLossModel::deterministic(40.0, 2.0), -96.0);
+        let mut sniffer = Sniffer::new(Position::new(5.0, 5.0), ap(), Channel::CH6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let captured = inject_frames(
+            frames,
+            &mut sniffer,
+            ap(),
+            (Position::new(0.0, 0.0), 20.0),
+            (Position::new(3.0, 0.0), 15.0),
+            Channel::CH6,
+            &medium,
+            &mut rng,
+        );
+        assert!(captured > 0, "a nearby sniffer captures the stream");
+        assert_eq!(captured, sniffer.len());
+        // Per-interface reassembly: every virtual address yields a trace.
+        let mut recovered = 0;
+        for mac in vifs.macs() {
+            recovered += captures_to_trace(sniffer.captures(), mac, None).len();
+        }
+        assert_eq!(recovered as u64, online.packets_seen());
     }
 
     #[test]

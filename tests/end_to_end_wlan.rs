@@ -65,8 +65,10 @@ fn run_session(reshaping: bool) -> Sniffer {
         SizeRanges::paper_default(),
         interfaces,
     )));
+    let mut table = traffic_reshaping::reshape::translation::TranslationTable::new();
+    table.install(client_mac(), &vifs);
     for (time, frame) in
-        bridge::trace_to_frames(&trace, &mut reshaper, &vifs, client_mac(), bssid())
+        bridge::trace_to_frames(&trace, &mut reshaper, &table, client_mac(), bssid())
     {
         let from_ap = frame.header().src() == bssid();
         let (pos, power) = if from_ap {
