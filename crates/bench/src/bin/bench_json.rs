@@ -6,11 +6,19 @@
 //!
 //! Measures packets/second through the `core_throughput` pipeline twice —
 //! once over the batch path (materialise sub-traces and window copies) and
-//! once over the streaming path (one pass, O(interfaces) state) — and writes
-//! a small machine-readable baseline (default `BENCH_pipeline.json`) so the
-//! performance trajectory of the data plane is recorded PR over PR. Wired
-//! into CI as a non-blocking step via `make bench-json`.
+//! once over the streaming path (one pass, O(interfaces) state) — plus the
+//! **defended streaming path**: the same one-pass evaluation with a defense
+//! [`StagePipeline`] in front of the windowers (padding, morphing, and the
+//! composed morph∘OR scenario), so the perf trajectory covers stage-pipeline
+//! compositions too. Writes a small machine-readable baseline (default
+//! `BENCH_pipeline.json`) so the performance trajectory of the data plane is
+//! recorded PR over PR. Wired into CI as a non-blocking step via
+//! `make bench-json` (the JSON is uploaded as a CI artifact).
+//!
+//! [`StagePipeline`]: defenses::stage::StagePipeline
 
+use bench::pipeline::{defense_pipeline, DefenseKind};
+use classifier::stream::FlowWindowers;
 use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
 use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
@@ -106,6 +114,29 @@ fn streaming_evaluate(trace: &Trace, window: SimDuration) -> usize {
     trace.len()
 }
 
+/// Defended streaming evaluation: one pass through a defense stage pipeline
+/// into per-sub-flow windowers. The pipeline is built once and `reset`
+/// between iterations, so the measurement covers the steady-state per-packet
+/// cost of the stages, not calibration-trace generation.
+fn defended_streaming_evaluate(
+    trace: &Trace,
+    window: SimDuration,
+    pipeline: &mut defenses::stage::StagePipeline,
+) -> usize {
+    let app = trace.app().expect("bench trace is labelled");
+    pipeline.reset();
+    let mut windowers = FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut examples = 0usize;
+    pipeline.run(&mut trace.stream(), |flow, packet| {
+        if windowers.push(flow as usize, packet).is_some() {
+            examples += 1;
+        }
+    });
+    examples += windowers.finish().len();
+    std::hint::black_box(examples);
+    trace.len()
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -119,10 +150,23 @@ fn main() {
     let (eval_batch_pps, _) = measure(|| batch_evaluate(&trace, window));
     let (eval_streaming_pps, _) = measure(|| streaming_evaluate(&trace, window));
 
+    // Defended streaming throughput: stage pipelines built once, reset per
+    // iteration, covering a transforming stage, a CDF-mapping stage and the
+    // composed defense∘reshape scenario end to end.
+    let app = trace.app().expect("bench trace is labelled");
+    let defended = |defense: DefenseKind| {
+        let mut pipeline = defense_pipeline(defense, app, 3, 1, 60.0, Some(&trace));
+        let (pps, _) = measure(|| defended_streaming_evaluate(&trace, window, &mut pipeline));
+        (pps, pipeline.overhead().percent())
+    };
+    let (defended_padding_pps, padding_overhead_pct) = defended(DefenseKind::Padding);
+    let (defended_morphing_pps, morphing_overhead_pct) = defended(DefenseKind::Morphing);
+    let (defended_morph_or_pps, morph_or_overhead_pct) = defended(DefenseKind::MorphThenReshape);
+
     let reshape_speedup = reshape_streaming_pps / reshape_batch_pps;
     let eval_speedup = eval_streaming_pps / eval_batch_pps;
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"BitTorrent 60s, OR over 3 vifs, W=5s\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2}\n}}\n"
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"BitTorrent 60s, OR over 3 vifs, W=5s\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2}\n}}\n"
     );
     std::fs::write(&output, &json).expect("write baseline json");
     println!("{json}");

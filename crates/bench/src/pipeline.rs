@@ -12,36 +12,39 @@
 //! application traffic looks like, and the defense succeeds when per-interface
 //! sub-flows no longer resemble it.
 //!
-//! The evaluation runs over the **streaming** data plane: every evaluation
-//! trace is one shard (scoped thread) that pulls packets through an
-//! [`OnlineReshaper`] into per-interface
-//! [`StreamingWindower`]s, so a packet is
-//! touched exactly once — no sub-trace or window materialisation. Defenses
-//! that rewrite traffic (padding, morphing, FH, pseudonyms) still transform
-//! the trace first, then stream the result through the windower.
+//! Since the stage refactor there is exactly **one** defended data path:
+//! [`defense_pipeline`] builds a streaming
+//! [`StagePipeline`] for any [`DefenseKind`] — padding, morphing, pseudonyms,
+//! frequency hopping, the reshaping schedulers, or compositions of them — and
+//! [`defended_examples`] streams packets through it into one
+//! [`StreamingWindower`] per emitted sub-flow, touching each packet exactly
+//! once. There is no defense-specific batch plumbing left in the evaluation;
+//! the batch wrappers survive only inside [`apply_defense`], which is kept as
+//! the independent reference the equivalence tests check the streaming path
+//! against.
 
 use classifier::dataset::Dataset;
 use classifier::ensemble::{AdversaryEnsemble, EnsembleConfig};
 use classifier::features::FEATURE_DIM;
 use classifier::metrics::ConfusionMatrix;
-use classifier::stream::{streamed_examples, StreamingWindower, WindowExample};
+use classifier::stream::{FlowWindowers, WindowExample};
 use classifier::window::{build_dataset, FeatureMode, DEFAULT_MIN_PACKETS};
 use defenses::frequency_hopping::FrequencyHopper;
-use defenses::morphing::{paper_morphing_target, TrafficMorpher};
+use defenses::morphing::{paper_morphing_target, MorphingStage, TrafficMorpher};
 use defenses::padding::PacketPadder;
 use defenses::pseudonym::PseudonymRotator;
+use defenses::stage::{FlowId, StagePipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
 use reshape_core::scheduler::{
     OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin,
 };
+use reshape_core::stage::ReshapeStage;
 use serde::{Deserialize, Serialize};
 use traffic_gen::app::AppKind;
 use traffic_gen::generator::SessionGenerator;
-use traffic_gen::stream::PacketSource;
 use traffic_gen::trace::Trace;
 
 use crate::corpus::ExperimentConfig;
@@ -67,6 +70,10 @@ pub enum DefenseKind {
     Padding,
     /// Traffic morphing using the paper's application pairing.
     Morphing,
+    /// The composed defense∘reshape scenario: morph toward the paper's
+    /// pairing target first, then reshape the morphed stream with OR — a
+    /// two-stage pipeline (§V-C's composition idea, streamed end to end).
+    MorphThenReshape,
 }
 
 impl DefenseKind {
@@ -92,6 +99,7 @@ impl DefenseKind {
             DefenseKind::Pseudonym => "Pseudonym",
             DefenseKind::Padding => "Padding",
             DefenseKind::Morphing => "Morphing",
+            DefenseKind::MorphThenReshape => "Morph+OR",
         }
     }
 }
@@ -109,33 +117,117 @@ pub fn train_adversary(config: &ExperimentConfig, mode: FeatureMode) -> Adversar
     )
 }
 
-/// The scheduling algorithm behind a reshaping defense, or `None` for the
-/// defenses that transform traffic instead of partitioning it over virtual
-/// interfaces.
+/// The scheduling algorithm behind a pure reshaping defense, or `None` for
+/// the defenses that transform or time/identity-partition traffic (or
+/// compose several stages).
 pub fn reshape_algorithm(
     defense: DefenseKind,
     config: &ExperimentConfig,
     seed: u64,
 ) -> Option<Box<dyn ReshapeAlgorithm>> {
+    scheduler_for(defense, config.interfaces, seed)
+}
+
+/// [`reshape_algorithm`] with the interface count passed directly (the
+/// station scenario has no [`ExperimentConfig`]).
+fn scheduler_for(
+    defense: DefenseKind,
+    interfaces: usize,
+    seed: u64,
+) -> Option<Box<dyn ReshapeAlgorithm>> {
     match defense {
-        DefenseKind::Random => Some(Box::new(RandomAssign::new(config.interfaces, seed))),
-        DefenseKind::RoundRobin => Some(Box::new(RoundRobin::new(config.interfaces))),
+        DefenseKind::Random => Some(Box::new(RandomAssign::new(interfaces, seed))),
+        DefenseKind::RoundRobin => Some(Box::new(RoundRobin::new(interfaces))),
         DefenseKind::Orthogonal => Some(Box::new(OrthogonalRanges::new(
-            SizeRanges::for_interface_count(config.interfaces)
+            SizeRanges::for_interface_count(interfaces)
                 .expect("experiment interface count is valid"),
         ))),
-        DefenseKind::OrthogonalModulo => Some(Box::new(OrthogonalModulo::new(config.interfaces))),
+        DefenseKind::OrthogonalModulo => Some(Box::new(OrthogonalModulo::new(interfaces))),
         DefenseKind::None
         | DefenseKind::FrequencyHopping
         | DefenseKind::Pseudonym
         | DefenseKind::Padding
-        | DefenseKind::Morphing => None,
+        | DefenseKind::Morphing
+        | DefenseKind::MorphThenReshape => None,
+    }
+}
+
+/// Builds the morphing stage for `app` under the paper's pairing: the target
+/// CDF comes from a generated session of the pairing target (seeded from
+/// `seed`), the source CDF from `source` when the trace is known up front or
+/// from a generated calibration session of `app` otherwise (the live-stream
+/// case, where the whole trace never exists).
+fn morphing_stage(
+    app: AppKind,
+    seed: u64,
+    calib_secs: f64,
+    source: Option<&Trace>,
+) -> MorphingStage {
+    let target_app = paper_morphing_target(app);
+    let target_trace = SessionGenerator::new(target_app, seed ^ 0xfeed).generate_secs(calib_secs);
+    let morpher = TrafficMorpher::from_target_trace(target_app, &target_trace);
+    match source {
+        Some(trace) => morpher.stage_for_source_trace(trace),
+        None => {
+            let calib = SessionGenerator::new(app, seed ^ 0xca1b).generate_secs(calib_secs);
+            morpher.stage_for_source_trace(&calib)
+        }
+    }
+}
+
+/// Builds the streaming stage pipeline of any defense — the single defended
+/// data path shared by the table evaluation, the multi-station scenario and
+/// the throughput baseline.
+///
+/// `calib_secs` sizes the generated calibration sessions the morphing stages
+/// need (the paper's training-session length); `source` optionally provides
+/// the materialised trace so batch-equivalent runs estimate the morphing
+/// source CDF from the actual traffic, exactly like the batch wrapper.
+pub fn defense_pipeline(
+    defense: DefenseKind,
+    app: AppKind,
+    interfaces: usize,
+    seed: u64,
+    calib_secs: f64,
+    source: Option<&Trace>,
+) -> StagePipeline {
+    if let Some(algorithm) = scheduler_for(defense, interfaces, seed) {
+        return StagePipeline::new().with_stage(ReshapeStage::new(algorithm));
+    }
+    match defense {
+        DefenseKind::None => StagePipeline::new(),
+        DefenseKind::FrequencyHopping => {
+            StagePipeline::new().with_stage(FrequencyHopper::default().stage())
+        }
+        DefenseKind::Pseudonym => StagePipeline::new()
+            .with_stage(PseudonymRotator::default().stage_with_rng(StdRng::seed_from_u64(seed))),
+        DefenseKind::Padding => StagePipeline::new().with_stage(PacketPadder::new().stage()),
+        DefenseKind::Morphing => {
+            StagePipeline::new().with_stage(morphing_stage(app, seed, calib_secs, source))
+        }
+        DefenseKind::MorphThenReshape => StagePipeline::new()
+            .with_stage(morphing_stage(app, seed, calib_secs, source))
+            .with_stage(ReshapeStage::new(Box::new(OrthogonalRanges::new(
+                SizeRanges::for_interface_count(interfaces)
+                    .expect("experiment interface count is valid"),
+            )))),
+        DefenseKind::Random
+        | DefenseKind::RoundRobin
+        | DefenseKind::Orthogonal
+        | DefenseKind::OrthogonalModulo => {
+            unreachable!("reshaping defenses handled above")
+        }
     }
 }
 
 /// Applies a defense to one labelled trace, returning the sub-flows the
 /// adversary observes. Each sub-flow keeps the ground-truth label so the
 /// evaluation can score predictions.
+///
+/// This is the **batch reference** built on the per-defense batch wrappers
+/// (`apply` / `partition` / `Reshaper`), kept so the equivalence tests can
+/// check the unified streaming path against an independent composition; the
+/// evaluation itself never calls it.
 pub fn apply_defense(
     trace: &Trace,
     defense: DefenseKind,
@@ -164,16 +256,16 @@ pub fn apply_defense(
                 .collect()
         }
         DefenseKind::Padding => vec![PacketPadder::new().apply(trace).0],
-        DefenseKind::Morphing => {
-            let app = trace.app().expect("evaluation traces are labelled");
-            let target_app = paper_morphing_target(app);
-            let target_trace = SessionGenerator::new(target_app, seed ^ 0xfeed)
-                .generate_secs(config.train_session_secs);
-            vec![
-                TrafficMorpher::from_target_trace(target_app, &target_trace)
-                    .apply(trace)
-                    .0,
-            ]
+        DefenseKind::Morphing => vec![morphed_reference(trace, config, seed)],
+        DefenseKind::MorphThenReshape => {
+            let morphed = morphed_reference(trace, config, seed);
+            Reshaper::new(Box::new(OrthogonalRanges::new(
+                SizeRanges::for_interface_count(config.interfaces)
+                    .expect("experiment interface count is valid"),
+            )))
+            .reshape(&morphed)
+            .sub_traces()
+            .to_vec()
         }
         DefenseKind::Random
         | DefenseKind::RoundRobin
@@ -184,14 +276,25 @@ pub fn apply_defense(
     }
 }
 
+/// The batch morphing reference: the paper pairing with the same seeds as the
+/// streaming [`morphing_stage`].
+fn morphed_reference(trace: &Trace, config: &ExperimentConfig, seed: u64) -> Trace {
+    let app = trace.app().expect("evaluation traces are labelled");
+    let target_app = paper_morphing_target(app);
+    let target_trace =
+        SessionGenerator::new(target_app, seed ^ 0xfeed).generate_secs(config.train_session_secs);
+    TrafficMorpher::from_target_trace(target_app, &target_trace)
+        .apply(trace)
+        .0
+}
+
 /// Streams one evaluation trace through a defense and returns every window
 /// example the adversary observes.
 ///
-/// Reshaping defenses run fully online: packets flow through an
-/// [`OnlineReshaper`] into one [`StreamingWindower`] per virtual interface,
-/// touching each packet exactly once. Transforming defenses (padding,
-/// morphing, FH, pseudonyms) rewrite the trace first and stream the observed
-/// sub-flows through the windower.
+/// Every defense — transforming, partitioning, reshaping or composed — runs
+/// through the same [`StagePipeline`]: packets stream from the trace through
+/// the stages into one [`StreamingWindower`] per emitted sub-flow, touching
+/// each packet exactly once with no sub-trace or window materialisation.
 pub fn defended_examples(
     trace: &Trace,
     defense: DefenseKind,
@@ -202,34 +305,22 @@ pub fn defended_examples(
     let Some(app) = trace.app() else {
         return Vec::new();
     };
-    if let Some(algorithm) = reshape_algorithm(defense, config, seed) {
-        let mut online = OnlineReshaper::new(algorithm);
-        let mut windowers: Vec<StreamingWindower> = (0..online.interface_count())
-            .map(|_| StreamingWindower::for_app(config.window(), DEFAULT_MIN_PACKETS, mode, app))
-            .collect();
-        let mut out = Vec::new();
-        let mut source = trace.stream();
-        while let Some(packet) = source.next_packet() {
-            let vif = online.assign(&packet);
-            if let Some(example) = windowers[vif.index()].push(&packet) {
-                out.push(example);
-            }
-        }
-        for windower in &mut windowers {
-            out.extend(windower.finish());
-        }
-        return out;
-    }
+    let mut pipeline = defense_pipeline(
+        defense,
+        app,
+        config.interfaces,
+        seed,
+        config.train_session_secs,
+        Some(trace),
+    );
+    let mut windowers = FlowWindowers::for_app(config.window(), DEFAULT_MIN_PACKETS, mode, app);
     let mut out = Vec::new();
-    for observed in apply_defense(trace, defense, config, seed) {
-        out.extend(streamed_examples(
-            &mut observed.stream(),
-            app,
-            config.window(),
-            DEFAULT_MIN_PACKETS,
-            mode,
-        ));
-    }
+    pipeline.run(&mut trace.stream(), |flow: FlowId, packet| {
+        if let Some(example) = windowers.push(flow as usize, packet) {
+            out.push(example);
+        }
+    });
+    out.extend(windowers.finish());
     out
 }
 
@@ -303,8 +394,10 @@ mod tests {
 
     #[test]
     fn streaming_evaluation_sees_the_same_windows_as_the_batch_path() {
-        // The sharded streaming evaluation must observe exactly the windows
-        // the batch path (defense -> sub-traces -> windowed_examples) did.
+        // The unified stage-pipeline evaluation must observe exactly the
+        // windows the independent batch reference (per-defense wrappers ->
+        // sub-traces -> windowed_examples) does — for every defense,
+        // including the composed morph-then-reshape pipeline.
         let config = ExperimentConfig::quick();
         let trace = SessionGenerator::new(AppKind::BitTorrent, 5).generate_secs(40.0);
         for defense in [
@@ -314,7 +407,10 @@ mod tests {
             DefenseKind::Orthogonal,
             DefenseKind::OrthogonalModulo,
             DefenseKind::FrequencyHopping,
+            DefenseKind::Pseudonym,
             DefenseKind::Padding,
+            DefenseKind::Morphing,
+            DefenseKind::MorphThenReshape,
         ] {
             let streamed = defended_examples(&trace, defense, &config, 1, FeatureMode::Full);
             let batch: usize = apply_defense(&trace, defense, &config, 1)
@@ -339,6 +435,7 @@ mod tests {
         let labels: Vec<&str> = DefenseKind::TABLE23.iter().map(|d| d.label()).collect();
         assert_eq!(labels, vec!["Original", "FH", "RA", "RR", "OR"]);
         assert_eq!(DefenseKind::Padding.label(), "Padding");
+        assert_eq!(DefenseKind::MorphThenReshape.label(), "Morph+OR");
     }
 
     #[test]
@@ -362,13 +459,46 @@ mod tests {
                 "{defense:?} must not add or drop packets"
             );
         }
-        // Padding and morphing keep the packet count but may grow bytes.
-        for defense in [DefenseKind::Padding, DefenseKind::Morphing] {
+        // Padding, morphing and the composition keep the packet count but may
+        // grow bytes.
+        for defense in [
+            DefenseKind::Padding,
+            DefenseKind::Morphing,
+            DefenseKind::MorphThenReshape,
+        ] {
             let observed = apply_defense(&trace, defense, &config, 1);
-            assert_eq!(observed.len(), 1);
-            assert_eq!(observed[0].len(), trace.len());
-            assert!(observed[0].total_bytes() >= trace.total_bytes());
+            let total: usize = observed.iter().map(Trace::len).sum();
+            assert_eq!(total, trace.len());
+            let bytes: u64 = observed.iter().map(Trace::total_bytes).sum();
+            assert!(bytes >= trace.total_bytes());
         }
+    }
+
+    #[test]
+    fn composed_pipeline_reports_overhead_through_the_shared_ledger() {
+        // Morph-then-reshape: the pipeline ledger shows the morphing bytes
+        // (reshaping adds none), and the per-stage ledgers agree.
+        let config = ExperimentConfig::quick();
+        let trace = SessionGenerator::new(AppKind::Chatting, 9).generate_secs(40.0);
+        let mut pipeline = defense_pipeline(
+            DefenseKind::MorphThenReshape,
+            AppKind::Chatting,
+            config.interfaces,
+            7,
+            config.train_session_secs,
+            Some(&trace),
+        );
+        let mut emitted = 0usize;
+        pipeline.run(&mut trace.stream(), |_, _| emitted += 1);
+        assert_eq!(emitted, trace.len());
+        let end_to_end = pipeline.overhead();
+        assert!(end_to_end.percent() > 0.0, "morphing chat adds bytes");
+        assert_eq!(end_to_end.added_packets(), 0);
+        let morph = pipeline.stages()[0].overhead();
+        let reshape = pipeline.stages()[1].overhead();
+        assert_eq!(end_to_end.added_bytes(), morph.added_bytes());
+        assert_eq!(reshape.percent(), 0.0, "reshaping is zero-overhead");
+        assert_eq!(reshape.original_bytes, morph.transformed_bytes);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod window;
 pub use dataset::Dataset;
 pub use features::FeatureVector;
 pub use metrics::ConfusionMatrix;
-pub use stream::{streamed_examples, StreamingWindower, WindowExample};
+pub use stream::{streamed_examples, FlowWindowers, StreamingWindower, WindowExample};
 
 /// A trained multi-class classifier.
 ///

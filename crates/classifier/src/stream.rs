@@ -252,6 +252,68 @@ impl StreamingWindower {
     }
 }
 
+/// A lazily-grown bank of [`StreamingWindower`]s, one per sub-flow of a
+/// staged packet stream — the standard sink behind a defense stage pipeline
+/// (each emitted sub-flow is windowed independently, exactly like windowing
+/// the materialised partition would).
+///
+/// Windowers are allocated the first time a sub-flow index appears, all with
+/// the same window/label configuration; each holds O(1) state.
+#[derive(Debug, Clone)]
+pub struct FlowWindowers {
+    window: SimDuration,
+    min_packets: usize,
+    mode: FeatureMode,
+    label: usize,
+    windowers: Vec<StreamingWindower>,
+}
+
+impl FlowWindowers {
+    /// Creates an empty bank whose windowers emit examples labelled with
+    /// `app`'s class index.
+    pub fn for_app(
+        window: SimDuration,
+        min_packets: usize,
+        mode: FeatureMode,
+        app: AppKind,
+    ) -> Self {
+        FlowWindowers {
+            window,
+            min_packets,
+            mode,
+            label: app.class_index(),
+            windowers: Vec::new(),
+        }
+    }
+
+    /// Number of sub-flows seen so far.
+    pub fn flow_count(&self) -> usize {
+        self.windowers.len()
+    }
+
+    /// Folds one packet of sub-flow `flow` in; returns a finished example
+    /// when this packet closes that sub-flow's previous window.
+    pub fn push(&mut self, flow: usize, packet: &PacketRecord) -> Option<WindowExample> {
+        while self.windowers.len() <= flow {
+            self.windowers.push(StreamingWindower::new(
+                self.window,
+                self.min_packets,
+                self.mode,
+                self.label,
+            ));
+        }
+        self.windowers[flow].push(packet)
+    }
+
+    /// Closes every sub-flow's trailing window, returning the populated ones.
+    pub fn finish(&mut self) -> Vec<WindowExample> {
+        self.windowers
+            .iter_mut()
+            .filter_map(StreamingWindower::finish)
+            .collect()
+    }
+}
+
 /// Drains a packet source through a fresh windower, returning every example.
 ///
 /// The streaming counterpart of

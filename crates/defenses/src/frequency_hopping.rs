@@ -6,11 +6,21 @@
 //! transmitted while the client sat on that channel. As the paper argues,
 //! this partitions the traffic in *time* but does not change the features of
 //! any partition, so the classifier barely suffers.
+//!
+//! Hopping is an online mechanism, so [`FrequencyHoppingStage`] is the
+//! primary implementation: a partitioning [`PacketStage`] that routes each
+//! packet onto the sub-flow of the channel the schedule is currently dwelling
+//! on. The batch [`FrequencyHopper::partition`] is a thin wrapper driving a
+//! stage over a materialised trace (identical partitions, property-tested in
+//! `tests/stage_equivalence.rs`).
 
+use crate::overhead::Overhead;
+use crate::stage::{stage_trace, FlowId, FlowMap, PacketStage, StageOutput};
 use serde::{Deserialize, Serialize};
+use traffic_gen::packet::PacketRecord;
 use traffic_gen::trace::Trace;
 use wlan_sim::phy::Channel;
-use wlan_sim::time::SimDuration;
+use wlan_sim::time::{SimDuration, SimTime};
 
 /// A deterministic channel-hopping schedule.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,14 +63,28 @@ impl FrequencyHopper {
 
     /// The channel in use at `elapsed` time since the start of the schedule.
     pub fn channel_at(&self, elapsed: SimDuration) -> Channel {
+        self.channels[self.channel_index_at(elapsed)]
+    }
+
+    /// The index into [`channels`](Self::channels) in use at `elapsed` time.
+    fn channel_index_at(&self, elapsed: SimDuration) -> usize {
         let slot = (elapsed.as_micros() / self.dwell.as_micros().max(1)) as usize;
-        self.channels[slot % self.channels.len()]
+        slot % self.channels.len()
+    }
+
+    /// The streaming hopping stage for this schedule.
+    pub fn stage(&self) -> FrequencyHoppingStage {
+        FrequencyHoppingStage::new(self.clone())
     }
 
     /// Splits a trace into per-channel partitions: `partition[i]` contains the
     /// packets transmitted while the schedule was on `channels[i]`. This is
     /// what an adversary with one radio per channel would collect; an
     /// adversary with a single radio sees exactly one of the partitions.
+    ///
+    /// Thin batch wrapper over [`FrequencyHoppingStage`]: the packets stream
+    /// through the stage and are grouped back into channel-ordered traces
+    /// (channels the schedule never visited stay empty).
     pub fn partition(&self, trace: &Trace) -> Vec<(Channel, Trace)> {
         let mut partitions: Vec<(Channel, Trace)> = self
             .channels
@@ -71,16 +95,89 @@ impl FrequencyHopper {
                 (c, t)
             })
             .collect();
-        let Some(start) = trace.start_time() else {
-            return partitions;
-        };
-        for p in trace.packets() {
-            let elapsed = p.time.saturating_since(start);
-            let slot = (elapsed.as_micros() / self.dwell.as_micros().max(1)) as usize;
-            let idx = slot % self.channels.len();
-            partitions[idx].1.push(*p);
+        let mut stage = self.stage();
+        let staged = stage_trace(&mut stage, trace);
+        for (flow, packet) in staged {
+            let idx = stage
+                .channel_index_of(flow)
+                .expect("stage emitted an unallocated flow");
+            partitions[idx].1.push(packet);
         }
         partitions
+    }
+}
+
+/// The streaming frequency-hopping defense: routes each packet onto the
+/// sub-flow of the channel the schedule dwells on at the packet's timestamp.
+///
+/// The schedule clock starts at the first packet the stage sees (matching the
+/// batch partitioning, which measures from a trace's first packet). Sub-flows
+/// are allocated per `(incoming flow, channel)` in first-appearance order.
+#[derive(Debug, Clone)]
+pub struct FrequencyHoppingStage {
+    hopper: FrequencyHopper,
+    origin: Option<SimTime>,
+    flows: FlowMap<usize>,
+    channel_indices: Vec<usize>,
+    ledger: Overhead,
+}
+
+impl FrequencyHoppingStage {
+    /// Creates a stage for the given schedule.
+    pub fn new(hopper: FrequencyHopper) -> Self {
+        FrequencyHoppingStage {
+            hopper,
+            origin: None,
+            flows: FlowMap::new(),
+            channel_indices: Vec::new(),
+            ledger: Overhead::default(),
+        }
+    }
+
+    /// Number of channel sub-flows opened so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The index into the schedule's hop set that sub-flow `flow` carries.
+    pub fn channel_index_of(&self, flow: FlowId) -> Option<usize> {
+        self.channel_indices.get(flow as usize).copied()
+    }
+
+    /// The channel that sub-flow `flow` carries.
+    pub fn channel_of(&self, flow: FlowId) -> Option<Channel> {
+        self.channel_index_of(flow)
+            .map(|i| self.hopper.channels()[i])
+    }
+}
+
+impl PacketStage for FrequencyHoppingStage {
+    fn name(&self) -> &'static str {
+        "frequency-hopping"
+    }
+
+    fn on_packet(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
+        let origin = *self.origin.get_or_insert(packet.time);
+        let idx = self
+            .hopper
+            .channel_index_at(packet.time.saturating_since(origin));
+        let (out_flow, fresh) = self.flows.id_of(flow, idx);
+        if fresh {
+            self.channel_indices.push(idx);
+        }
+        self.ledger.record(packet.size as u64, packet.size as u64);
+        out.push((out_flow, *packet));
+    }
+
+    fn overhead(&self) -> Overhead {
+        self.ledger
+    }
+
+    fn reset(&mut self) {
+        self.origin = None;
+        self.flows.reset();
+        self.channel_indices.clear();
+        self.ledger = Overhead::default();
     }
 }
 
@@ -127,6 +224,46 @@ mod tests {
                 part.mean_packet_size()
             );
         }
+    }
+
+    #[test]
+    fn stage_routes_packets_by_dwell_slot() {
+        let fh = FrequencyHopper::default();
+        let mut stage = fh.stage();
+        assert_eq!(stage.name(), "frequency-hopping");
+        let p = |secs: f64| {
+            PacketRecord::at_secs(
+                secs,
+                300,
+                traffic_gen::packet::Direction::Uplink,
+                AppKind::Gaming,
+            )
+        };
+        let mut out = StageOutput::new();
+        for secs in [0.0, 0.2, 0.6, 1.2, 1.6] {
+            stage.on_packet(crate::stage::ROOT_FLOW, &p(secs), &mut out);
+        }
+        stage.flush(&mut out);
+        let channels: Vec<Channel> = out
+            .iter()
+            .map(|(f, _)| stage.channel_of(*f).unwrap())
+            .collect();
+        assert_eq!(
+            channels,
+            vec![
+                Channel::CH1,
+                Channel::CH1,
+                Channel::CH6,
+                Channel::CH11,
+                Channel::CH1
+            ]
+        );
+        assert_eq!(stage.flow_count(), 3);
+        assert_eq!(stage.channel_of(9), None);
+        assert_eq!(stage.overhead().percent(), 0.0, "FH adds no bytes");
+        stage.reset();
+        assert_eq!(stage.flow_count(), 0);
+        assert_eq!(stage.overhead(), Overhead::default());
     }
 
     #[test]

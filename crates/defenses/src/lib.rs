@@ -15,10 +15,17 @@
 //! * [`frequency_hopping`] — hop between channels 1/6/11 with a fixed dwell
 //!   (the VirtualWiFi-based baseline of §IV); an eavesdropper camped on one
 //!   channel sees only that channel's partition.
-//! * [`overhead`] — the byte-overhead accounting shared by every defense.
+//! * [`stage`] — the composable streaming pipeline every defense plugs into:
+//!   the per-packet [`PacketStage`] trait and the [`StagePipeline`] that
+//!   chains stages (defense∘defense, defense∘reshaping, …).
+//! * [`overhead`] — the byte/packet-overhead ledger shared by every stage.
 //!
-//! All defenses operate on [`traffic_gen::Trace`] values so they compose with
-//! the same classifier pipeline as traffic reshaping.
+//! Every defense is implemented as a streaming [`PacketStage`] (packet in,
+//! zero or more packets out) so it runs on unbounded sessions and composes
+//! with the reshaping engine; the batch entry points (`apply` / `partition`)
+//! are thin wrappers that drive a stage over a materialised
+//! [`traffic_gen::Trace`], property-tested byte-identical per seed in
+//! `tests/stage_equivalence.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +36,11 @@ pub mod morphing;
 pub mod overhead;
 pub mod padding;
 pub mod pseudonym;
+pub mod stage;
 
-pub use frequency_hopping::FrequencyHopper;
-pub use morphing::TrafficMorpher;
+pub use frequency_hopping::{FrequencyHopper, FrequencyHoppingStage};
+pub use morphing::{MorphingStage, TrafficMorpher};
 pub use overhead::Overhead;
-pub use padding::PacketPadder;
-pub use pseudonym::PseudonymRotator;
+pub use padding::{PacketPadder, PaddingStage};
+pub use pseudonym::{PseudonymRotator, PseudonymStage};
+pub use stage::{FlowId, FlowMap, FlowTraces, PacketStage, StagePipeline, ROOT_FLOW};

@@ -12,15 +12,25 @@
 //!   shrunk below its original size (those bytes would have to be split into
 //!   extra packets, which the paper also avoids in its comparison).
 //!
+//! Like the original morphing matrix, both CDFs are fixed **before** traffic
+//! flows: [`MorphingStage`] then morphs each packet independently as it
+//! streams by (a one-in/one-out [`PacketStage`]), so morphing runs on
+//! unbounded sessions and composes with reshaping. The batch
+//! [`TrafficMorpher::apply`] estimates the source CDF from the given trace and
+//! drives a stage over it — a thin wrapper, byte-identical per seed
+//! (property-tested in `tests/stage_equivalence.rs`).
+//!
 //! The paper pairs applications in a cycle (§IV-D): chatting→gaming,
 //! gaming→browsing, browsing→BitTorrent, BitTorrent→video, video→downloading;
 //! downloading and uploading are left as-is (they are already at the extremes
 //! of the size spectrum).
 
 use crate::overhead::Overhead;
+use crate::stage::{stage_trace, FlowId, PacketStage, StageOutput};
 use serde::{Deserialize, Serialize};
 use traffic_gen::app::AppKind;
 use traffic_gen::distribution::SizeHistogram;
+use traffic_gen::packet::PacketRecord;
 use traffic_gen::trace::Trace;
 use traffic_gen::MAX_PACKET_SIZE;
 
@@ -90,40 +100,112 @@ impl TrafficMorpher {
         MAX_PACKET_SIZE
     }
 
+    /// The streaming morphing stage, with the source size distribution
+    /// estimated from `source_trace` (e.g. a recorded calibration session of
+    /// the application being disguised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source trace is empty.
+    pub fn stage_for_source_trace(&self, source_trace: &Trace) -> MorphingStage {
+        assert!(
+            !source_trace.is_empty(),
+            "cannot estimate a source CDF from an empty trace"
+        );
+        let hist = SizeHistogram::from_sizes(
+            source_trace.packets().iter().map(|p| p.size),
+            MAX_PACKET_SIZE,
+            self.bin_width,
+        );
+        MorphingStage::new(self.clone(), hist.cdf())
+    }
+
     /// Morphs a source trace: every packet's size is replaced by the target
     /// size at the same quantile of the *source* distribution, but never made
     /// smaller than the original packet. Returns the morphed trace and the
     /// byte overhead.
+    ///
+    /// This is the thin batch wrapper over [`MorphingStage`]: the source CDF
+    /// is estimated from `source` itself, then the packets stream through the
+    /// stage one at a time.
     pub fn apply(&self, source: &Trace) -> (Trace, Overhead) {
         if source.is_empty() {
             return (source.clone(), Overhead::default());
         }
-        let source_hist = SizeHistogram::from_sizes(
-            source.packets().iter().map(|p| p.size),
-            MAX_PACKET_SIZE,
-            self.bin_width,
-        );
-        let source_cdf = source_hist.cdf();
-        let packets = source
-            .packets()
-            .iter()
-            .map(|p| {
-                let bin = p.size.min(MAX_PACKET_SIZE) / self.bin_width;
-                let q = source_cdf[bin.min(source_cdf.len() - 1)];
-                let morphed = self.target_size_at_quantile(q);
-                // Never shrink: link-layer morphing cannot delete payload bytes.
-                p.with_size(morphed.max(p.size))
-            })
+        let mut stage = self.stage_for_source_trace(source);
+        let packets = stage_trace(&mut stage, source)
+            .into_iter()
+            .map(|(_, p)| p)
             .collect();
-        let morphed = Trace::from_packets(source.app(), packets);
-        let overhead = Overhead::between(source, &morphed);
-        (morphed, overhead)
+        (Trace::from_packets(source.app(), packets), stage.overhead())
+    }
+}
+
+/// The streaming morphing defense: maps each packet's size to the target
+/// distribution's size at the same quantile of the (pre-estimated) source
+/// distribution, never shrinking a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MorphingStage {
+    morpher: TrafficMorpher,
+    source_cdf: Vec<f64>,
+    ledger: Overhead,
+}
+
+impl MorphingStage {
+    /// Creates a stage from a morpher (target CDF) and a pre-computed source
+    /// CDF over the morpher's bin width (as returned by
+    /// [`SizeHistogram::cdf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source CDF is empty.
+    pub fn new(morpher: TrafficMorpher, source_cdf: Vec<f64>) -> Self {
+        assert!(!source_cdf.is_empty(), "source CDF must not be empty");
+        MorphingStage {
+            morpher,
+            source_cdf,
+            ledger: Overhead::default(),
+        }
+    }
+
+    /// The application whose distribution is being imitated.
+    pub fn target_app(&self) -> AppKind {
+        self.morpher.target_app()
+    }
+
+    /// Morphs one size (the per-packet kernel shared with the batch path).
+    fn morph_size(&self, size: usize) -> usize {
+        let bin = size.min(MAX_PACKET_SIZE) / self.morpher.bin_width;
+        let q = self.source_cdf[bin.min(self.source_cdf.len() - 1)];
+        // Never shrink: link-layer morphing cannot delete payload bytes.
+        self.morpher.target_size_at_quantile(q).max(size)
+    }
+}
+
+impl PacketStage for MorphingStage {
+    fn name(&self) -> &'static str {
+        "morphing"
+    }
+
+    fn on_packet(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
+        let morphed = packet.with_size(self.morph_size(packet.size));
+        self.ledger.record(packet.size as u64, morphed.size as u64);
+        out.push((flow, morphed));
+    }
+
+    fn overhead(&self) -> Overhead {
+        self.ledger
+    }
+
+    fn reset(&mut self) {
+        self.ledger = Overhead::default();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::ROOT_FLOW;
     use traffic_gen::generator::SessionGenerator;
     use traffic_gen::packet::Direction;
 
@@ -167,6 +249,7 @@ mod tests {
             "morphing should move the mean toward the target: before {before:.0}, after {after:.0}, target {target:.0}"
         );
         assert!(overhead.percent() > 0.0);
+        assert_eq!(overhead.added_packets(), 0, "morphing never adds packets");
     }
 
     #[test]
@@ -220,6 +303,32 @@ mod tests {
     }
 
     #[test]
+    fn stage_streams_packets_one_at_a_time() {
+        // The stage with a pre-estimated source CDF morphs a live stream
+        // without ever seeing the whole trace.
+        let chat = trace_of(AppKind::Chatting, 7, 60.0);
+        let gaming = trace_of(AppKind::Gaming, 8, 60.0);
+        let morpher = TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming);
+        let mut stage = morpher.stage_for_source_trace(&chat);
+        assert_eq!(stage.name(), "morphing");
+        assert_eq!(stage.target_app(), AppKind::Gaming);
+        let mut out = StageOutput::new();
+        for p in chat.packets() {
+            stage.on_packet(ROOT_FLOW, p, &mut out);
+        }
+        stage.flush(&mut out);
+        assert_eq!(out.len(), chat.len());
+        for ((flow, morphed), orig) in out.iter().zip(chat.packets()) {
+            assert_eq!(*flow, ROOT_FLOW);
+            assert!(morphed.size >= orig.size);
+            assert_eq!(morphed.time, orig.time);
+        }
+        assert_eq!(stage.overhead().original_bytes, chat.total_bytes());
+        stage.reset();
+        assert_eq!(stage.overhead(), Overhead::default());
+    }
+
+    #[test]
     fn empty_source_is_a_no_op() {
         let gaming = trace_of(AppKind::Gaming, 9, 30.0);
         let morpher = TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming);
@@ -232,5 +341,13 @@ mod tests {
     #[should_panic]
     fn empty_target_trace_panics() {
         let _ = TrafficMorpher::from_target_trace(AppKind::Gaming, &Trace::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_source_trace_panics_for_the_stage() {
+        let gaming = trace_of(AppKind::Gaming, 10, 30.0);
+        let _ = TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming)
+            .stage_for_source_trace(&Trace::new());
     }
 }

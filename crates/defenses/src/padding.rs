@@ -5,9 +5,17 @@
 //! packet size of 1576 bytes). The paper's point — which Table VI reproduces —
 //! is that padding is extremely expensive (121 % mean overhead) and still
 //! leaves timing features intact, so the adversary barely loses accuracy.
+//!
+//! Padding is inherently per-packet, so [`PaddingStage`] is the primary
+//! implementation: a one-in/one-out [`PacketStage`] that pads as packets
+//! stream by. The batch [`PacketPadder::apply`] is a thin wrapper that drives
+//! a stage over a materialised trace (byte-identical, property-tested in
+//! `tests/stage_equivalence.rs`).
 
 use crate::overhead::Overhead;
+use crate::stage::{stage_trace, FlowId, PacketStage, StageOutput};
 use serde::{Deserialize, Serialize};
+use traffic_gen::packet::PacketRecord;
 use traffic_gen::trace::Trace;
 use traffic_gen::MAX_PACKET_SIZE;
 
@@ -46,26 +54,68 @@ impl PacketPadder {
         self.target_size
     }
 
-    /// Pads a trace, returning the transformed trace and its overhead.
+    /// The streaming padding stage for this configuration.
+    pub fn stage(&self) -> PaddingStage {
+        PaddingStage::new(*self)
+    }
+
+    /// Pads a trace, returning the transformed trace and its overhead — a
+    /// thin batch wrapper over [`PaddingStage`].
     ///
     /// Packets already larger than the target keep their size (padding never
     /// truncates); timestamps and directions are untouched, which is exactly
     /// why the timing-based attack of Table VI still works.
     pub fn apply(&self, trace: &Trace) -> (Trace, Overhead) {
-        let packets = trace
-            .packets()
-            .iter()
-            .map(|p| p.with_size(p.size.max(self.target_size)))
+        let mut stage = self.stage();
+        let packets = stage_trace(&mut stage, trace)
+            .into_iter()
+            .map(|(_, p)| p)
             .collect();
-        let padded = Trace::from_packets(trace.app(), packets);
-        let overhead = Overhead::between(trace, &padded);
-        (padded, overhead)
+        (Trace::from_packets(trace.app(), packets), stage.overhead())
+    }
+}
+
+/// The streaming padding defense: pads each packet as it flows by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaddingStage {
+    padder: PacketPadder,
+    ledger: Overhead,
+}
+
+impl PaddingStage {
+    /// Creates a stage padding to `padder`'s target size.
+    pub fn new(padder: PacketPadder) -> Self {
+        PaddingStage {
+            padder,
+            ledger: Overhead::default(),
+        }
+    }
+}
+
+impl PacketStage for PaddingStage {
+    fn name(&self) -> &'static str {
+        "padding"
+    }
+
+    fn on_packet(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
+        let padded = packet.with_size(packet.size.max(self.padder.target_size()));
+        self.ledger.record(packet.size as u64, padded.size as u64);
+        out.push((flow, padded));
+    }
+
+    fn overhead(&self) -> Overhead {
+        self.ledger
+    }
+
+    fn reset(&mut self) {
+        self.ledger = Overhead::default();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::ROOT_FLOW;
     use traffic_gen::app::AppKind;
     use traffic_gen::generator::SessionGenerator;
     use traffic_gen::packet::{Direction, PacketRecord};
@@ -77,6 +127,8 @@ mod tests {
         assert_eq!(padded.len(), trace.len());
         assert!(padded.packets().iter().all(|p| p.size == MAX_PACKET_SIZE));
         assert!(overhead.percent() > 100.0, "chat padding is very expensive");
+        assert_eq!(overhead.original_packets, trace.len() as u64);
+        assert_eq!(overhead.added_packets(), 0, "padding never adds packets");
     }
 
     #[test]
@@ -119,6 +171,24 @@ mod tests {
         );
         let (_, overhead) = PacketPadder::new().apply(&downlink);
         assert!(overhead.percent() < 2.0, "got {}", overhead.percent());
+    }
+
+    #[test]
+    fn stage_is_one_in_one_out_on_the_incoming_flow() {
+        let mut stage = PacketPadder::new().stage();
+        assert_eq!(stage.name(), "padding");
+        let p = PacketRecord::at_secs(0.0, 100, Direction::Uplink, AppKind::Chatting);
+        let mut out = StageOutput::new();
+        stage.on_packet(ROOT_FLOW, &p, &mut out);
+        stage.on_packet(3, &p, &mut out);
+        stage.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, ROOT_FLOW);
+        assert_eq!(out[1].0, 3, "transforming stages preserve the flow id");
+        assert!(out.iter().all(|(_, q)| q.size == MAX_PACKET_SIZE));
+        assert_eq!(stage.overhead().added_bytes(), 2 * (1576 - 100));
+        stage.reset();
+        assert_eq!(stage.overhead(), Overhead::default());
     }
 
     #[test]

@@ -6,12 +6,23 @@
 //! rotation happens at a coarse granularity (per session or when idle), so
 //! every individual partition still exposes the original traffic features —
 //! which is exactly what this module lets the experiments demonstrate.
+//!
+//! Rotation is an online mechanism, so [`PseudonymStage`] is the primary
+//! implementation: a partitioning [`PacketStage`] that opens a fresh sub-flow
+//! (with a freshly drawn locally-administered MAC) every time the rotation
+//! period elapses, in constant memory per sub-flow. The batch
+//! [`PseudonymRotator::partition`] is a thin wrapper that drives a stage over
+//! a materialised trace — identical partitions per seed (property-tested in
+//! `tests/stage_equivalence.rs`).
 
+use crate::overhead::Overhead;
+use crate::stage::{FlowId, FlowMap, PacketStage, StageOutput, ROOT_FLOW};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use traffic_gen::packet::PacketRecord;
 use traffic_gen::trace::Trace;
 use wlan_sim::mac::MacAddress;
-use wlan_sim::time::SimDuration;
+use wlan_sim::time::{SimDuration, SimTime};
 
 /// Rotates the client MAC address every `rotation_period`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,46 +59,127 @@ impl PseudonymRotator {
         self.rotation_period
     }
 
+    /// The streaming rotation stage, drawing pseudonyms from `rng`.
+    ///
+    /// Pass an owned seeded generator for standalone pipelines, or `&mut rng`
+    /// to share a caller's generator (as the batch wrapper does).
+    pub fn stage_with_rng<R: Rng>(&self, rng: R) -> PseudonymStage<R> {
+        PseudonymStage::new(*self, rng)
+    }
+
     /// Splits a trace into per-pseudonym partitions: each partition is the
     /// traffic sent under one disposable MAC address, labelled with that
     /// address. The adversary sees each partition as a distinct device.
+    ///
+    /// Thin batch wrapper over [`PseudonymStage`]: the packets stream through
+    /// the stage, and the per-sub-flow output is grouped back into traces.
     pub fn partition<R: Rng + ?Sized>(
         &self,
         trace: &Trace,
         rng: &mut R,
     ) -> Vec<(MacAddress, Trace)> {
-        if trace.is_empty() {
-            return Vec::new();
+        let mut stage = self.stage_with_rng(&mut *rng);
+        let mut staged = StageOutput::with_capacity(trace.len());
+        for packet in trace.packets() {
+            stage.route(ROOT_FLOW, packet, &mut staged);
         }
-        let start = trace.packets()[0].time;
-        let period = self.rotation_period.as_micros().max(1);
-        let mut partitions: Vec<(MacAddress, Trace)> = Vec::new();
-        let mut current_epoch: Option<u64> = None;
-        for p in trace.packets() {
-            let epoch = p.time.saturating_since(start).as_micros() / period;
-            if current_epoch != Some(epoch) {
-                current_epoch = Some(epoch);
-                partitions.push((
-                    MacAddress::random_locally_administered(rng),
-                    Trace::for_app(trace.app().expect("labelled trace")),
-                ));
-                if let Some(app) = trace.app() {
-                    partitions
-                        .last_mut()
-                        .expect("just pushed")
-                        .1
-                        .set_app(Some(app));
-                } else {
-                    partitions.last_mut().expect("just pushed").1.set_app(None);
-                }
-            }
-            partitions
-                .last_mut()
-                .expect("partition exists after epoch check")
-                .1
-                .push(*p);
+        let mut partitions: Vec<(MacAddress, Trace)> = (0..stage.flow_count())
+            .map(|flow| {
+                let mut t = Trace::new();
+                t.set_app(trace.app());
+                (
+                    stage
+                        .pseudonym_of(flow as FlowId)
+                        .expect("every allocated flow has a pseudonym"),
+                    t,
+                )
+            })
+            .collect();
+        for (flow, packet) in staged {
+            partitions[flow as usize].1.push(packet);
         }
         partitions
+    }
+}
+
+/// The streaming pseudonym defense: routes packets onto a fresh sub-flow
+/// (fresh random locally-administered MAC) every rotation period.
+///
+/// Epochs are measured from the first packet the stage sees, exactly like the
+/// batch partitioning measured from a trace's first packet. When composed
+/// after another partitioning stage, each incoming sub-flow rotates through
+/// its own pseudonyms (keyed per `(incoming flow, epoch)`).
+#[derive(Debug)]
+pub struct PseudonymStage<R: Rng> {
+    rotator: PseudonymRotator,
+    rng: R,
+    origin: Option<SimTime>,
+    flows: FlowMap<u64>,
+    pseudonyms: Vec<MacAddress>,
+    ledger: Overhead,
+}
+
+impl<R: Rng> PseudonymStage<R> {
+    /// Creates a stage for `rotator`, drawing pseudonyms from `rng`.
+    pub fn new(rotator: PseudonymRotator, rng: R) -> Self {
+        PseudonymStage {
+            rotator,
+            rng,
+            origin: None,
+            flows: FlowMap::new(),
+            pseudonyms: Vec::new(),
+            ledger: Overhead::default(),
+        }
+    }
+
+    /// Number of pseudonym sub-flows opened so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The MAC address transmitting sub-flow `flow`.
+    pub fn pseudonym_of(&self, flow: FlowId) -> Option<MacAddress> {
+        self.pseudonyms.get(flow as usize).copied()
+    }
+
+    /// The per-packet routing kernel shared by [`PacketStage::on_packet`] and
+    /// the batch wrapper (which drives it without the trait's `Send + Debug`
+    /// object bounds, so it works with any borrowed generator).
+    fn route(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
+        let origin = *self.origin.get_or_insert(packet.time);
+        let period = self.rotator.rotation_period.as_micros().max(1);
+        let epoch = packet.time.saturating_since(origin).as_micros() / period;
+        let (out_flow, fresh) = self.flows.id_of(flow, epoch);
+        if fresh {
+            self.pseudonyms
+                .push(MacAddress::random_locally_administered(&mut self.rng));
+        }
+        self.ledger.record(packet.size as u64, packet.size as u64);
+        out.push((out_flow, *packet));
+    }
+}
+
+impl<R: Rng + std::fmt::Debug + Send> PacketStage for PseudonymStage<R> {
+    fn name(&self) -> &'static str {
+        "pseudonym"
+    }
+
+    fn on_packet(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
+        self.route(flow, packet, out);
+    }
+
+    fn overhead(&self) -> Overhead {
+        self.ledger
+    }
+
+    /// Clears epoch/sub-flow state and the ledger. The random generator keeps
+    /// its state: pseudonyms are disposable, so a reused stage simply draws
+    /// fresh addresses for the next session.
+    fn reset(&mut self) {
+        self.origin = None;
+        self.flows.reset();
+        self.pseudonyms.clear();
+        self.ledger = Overhead::default();
     }
 }
 
@@ -141,11 +233,55 @@ mod tests {
     }
 
     #[test]
+    fn stage_rotates_flows_on_epoch_boundaries() {
+        let rotator = PseudonymRotator::new(SimDuration::from_secs(10));
+        let mut stage = rotator.stage_with_rng(StdRng::seed_from_u64(5));
+        assert_eq!(stage.name(), "pseudonym");
+        let mut out = StageOutput::new();
+        let p = |secs: f64| {
+            PacketRecord::at_secs(
+                secs,
+                500,
+                traffic_gen::packet::Direction::Downlink,
+                AppKind::Video,
+            )
+        };
+        for secs in [0.0, 5.0, 9.9, 10.1, 25.0] {
+            stage.on_packet(crate::stage::ROOT_FLOW, &p(secs), &mut out);
+        }
+        let flows: Vec<FlowId> = out.iter().map(|(f, _)| *f).collect();
+        assert_eq!(flows, vec![0, 0, 0, 1, 2]);
+        assert_eq!(stage.flow_count(), 3);
+        let macs: HashSet<_> = (0..3).map(|f| stage.pseudonym_of(f).unwrap()).collect();
+        assert_eq!(macs.len(), 3);
+        assert_eq!(stage.pseudonym_of(9), None);
+        // Zero byte overhead, packets preserved.
+        assert_eq!(stage.overhead().percent(), 0.0);
+        assert_eq!(stage.overhead().transformed_packets, 5);
+        // Reset clears partitions but keeps drawing fresh addresses.
+        stage.reset();
+        assert_eq!(stage.flow_count(), 0);
+        stage.on_packet(crate::stage::ROOT_FLOW, &p(0.0), &mut out);
+        assert!(!macs.contains(&stage.pseudonym_of(0).unwrap()));
+    }
+
+    #[test]
     fn empty_trace_has_no_partitions() {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(PseudonymRotator::default()
             .partition(&Trace::new(), &mut rng)
             .is_empty());
+    }
+
+    #[test]
+    fn unlabelled_traces_partition_without_labels() {
+        let labelled = SessionGenerator::new(AppKind::Video, 4).generate_secs(30.0);
+        let mut unlabelled = labelled.clone();
+        unlabelled.set_app(None);
+        let mut rng = StdRng::seed_from_u64(4);
+        let partitions = PseudonymRotator::default().partition(&unlabelled, &mut rng);
+        assert!(!partitions.is_empty());
+        assert!(partitions.iter().all(|(_, t)| t.app().is_none()));
     }
 
     #[test]

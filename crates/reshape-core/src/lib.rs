@@ -27,6 +27,9 @@
 //! * [`reshaper`] — the batch façade over the online engine: partitions a
 //!   whole trace into per-interface sub-flows and verifies the zero-overhead
 //!   invariant.
+//! * [`stage`] — the engine as a composable `PacketStage` of the `defenses`
+//!   stage pipeline, so defense∘reshaping orderings (morph-then-reshape,
+//!   per-vif padding, …) are first-class streaming data paths.
 //! * [`params`] — parameter selection for `L`, `I` and φ (§III-C3), privacy
 //!   entropy.
 //! * [`power`] — per-packet transmission power control against RSSI linking (§V-A).
@@ -66,6 +69,7 @@ pub mod power;
 pub mod ranges;
 pub mod reshaper;
 pub mod scheduler;
+pub mod stage;
 pub mod target;
 pub mod translation;
 pub mod vif;
@@ -77,4 +81,5 @@ pub use reshaper::{ReshapeOutcome, Reshaper};
 pub use scheduler::{
     OrthogonalModulo, OrthogonalRanges, RandomAssign, ReshapeAlgorithm, RoundRobin,
 };
+pub use stage::{reshape_staged, ReshapeStage};
 pub use vif::{VifIndex, VirtualInterface, VirtualInterfaceSet};

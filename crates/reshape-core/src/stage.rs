@@ -1,0 +1,243 @@
+//! Traffic reshaping as a pipeline stage: the glue that makes
+//! defense∘reshaping compositions first-class.
+//!
+//! [`ReshapeStage`] adapts the streaming [`OnlineReshaper`] to the
+//! [`PacketStage`] contract of the `defenses` crate, so the reshaping engine
+//! slots into a [`StagePipeline`] anywhere a defense does: morph-then-reshape
+//! puts a `MorphingStage` in front of it, reshape-then-pad puts a
+//! `PaddingStage` behind it (per-vif padding, since the padding stage sees one
+//! sub-flow per virtual interface), and so on. Each virtual interface becomes
+//! one output sub-flow, allocated in first-use order per incoming flow.
+//!
+//! [`reshape_staged`] goes the other way: it makes the online reshaper a
+//! *consumer* of upstream stages, draining a packet source through a defense
+//! pipeline straight into the engine and its [`SubFlowSink`]s — the Fig. 3
+//! data path with arbitrary defenses spliced in before the dispatcher.
+
+use crate::online::{OnlineReshaper, SubFlowSink};
+use crate::scheduler::ReshapeAlgorithm;
+use crate::vif::VifIndex;
+use defenses::overhead::Overhead;
+use defenses::stage::{FlowId, FlowMap, PacketStage, StageOutput, StagePipeline};
+use traffic_gen::packet::PacketRecord;
+use traffic_gen::stream::PacketSource;
+
+/// The reshaping engine as a composable [`PacketStage`]: every packet is
+/// dispatched to a virtual interface, and each `(incoming flow, interface)`
+/// pair becomes one output sub-flow.
+///
+/// Reshaping is zero-overhead by construction, which the stage's ledger
+/// reports: bytes in equals bytes out, packet for packet.
+#[derive(Debug)]
+pub struct ReshapeStage {
+    online: OnlineReshaper,
+    flows: FlowMap<VifIndex>,
+    vifs: Vec<VifIndex>,
+    ledger: Overhead,
+}
+
+impl ReshapeStage {
+    /// Creates a stage dispatching through `algorithm`.
+    pub fn new(algorithm: Box<dyn ReshapeAlgorithm>) -> Self {
+        Self::from_online(OnlineReshaper::new(algorithm))
+    }
+
+    /// Wraps an existing online engine (keeping its tracking ranges).
+    pub fn from_online(online: OnlineReshaper) -> Self {
+        ReshapeStage {
+            online,
+            flows: FlowMap::new(),
+            vifs: Vec::new(),
+            ledger: Overhead::default(),
+        }
+    }
+
+    /// The streaming engine behind the stage (realized distributions,
+    /// per-interface counters).
+    pub fn online(&self) -> &OnlineReshaper {
+        &self.online
+    }
+
+    /// Number of output sub-flows opened so far (≤ incoming flows × vifs).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The virtual interface carrying output sub-flow `flow`.
+    pub fn vif_of(&self, flow: FlowId) -> Option<VifIndex> {
+        self.vifs.get(flow as usize).copied()
+    }
+}
+
+impl PacketStage for ReshapeStage {
+    fn name(&self) -> &'static str {
+        self.online.algorithm_name()
+    }
+
+    fn on_packet(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
+        let vif = self.online.assign(packet);
+        let (out_flow, fresh) = self.flows.id_of(flow, vif);
+        if fresh {
+            self.vifs.push(vif);
+        }
+        self.ledger.record(packet.size as u64, packet.size as u64);
+        out.push((out_flow, *packet));
+    }
+
+    fn overhead(&self) -> Overhead {
+        self.ledger
+    }
+
+    fn reset(&mut self) {
+        self.online.reset();
+        self.flows.reset();
+        self.vifs.clear();
+        self.ledger = Overhead::default();
+    }
+}
+
+/// Drains a packet source through an upstream defense pipeline and then the
+/// online reshaper, delivering every reshaped packet to `sink` — the
+/// defense∘reshape data path with the engine as the pipeline's consumer.
+/// Returns the number of packets pulled from the source.
+pub fn reshape_staged<P, S>(
+    source: &mut P,
+    pre: &mut StagePipeline,
+    online: &mut OnlineReshaper,
+    sink: &mut S,
+) -> usize
+where
+    P: PacketSource + ?Sized,
+    S: SubFlowSink + ?Sized,
+{
+    pre.run(source, |_, packet| {
+        online.assign_to(packet, sink);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::SubTraceCollector;
+    use crate::ranges::SizeRanges;
+    use crate::reshaper::Reshaper;
+    use crate::scheduler::{OrthogonalRanges, RoundRobin};
+    use defenses::stage::ROOT_FLOW;
+    use defenses::PacketPadder;
+    use traffic_gen::app::AppKind;
+    use traffic_gen::generator::SessionGenerator;
+    use traffic_gen::trace::Trace;
+    use traffic_gen::MAX_PACKET_SIZE;
+
+    fn or_stage() -> ReshapeStage {
+        ReshapeStage::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())))
+    }
+
+    fn bt_trace(seed: u64) -> Trace {
+        SessionGenerator::new(AppKind::BitTorrent, seed).generate_secs(20.0)
+    }
+
+    #[test]
+    fn stage_assignments_match_the_batch_reshaper() {
+        let trace = bt_trace(1);
+        let mut stage = or_stage();
+        assert_eq!(stage.name(), "OR");
+        let mut out = StageOutput::new();
+        let mut staged = Vec::new();
+        for packet in trace.packets() {
+            out.clear();
+            stage.on_packet(ROOT_FLOW, packet, &mut out);
+            staged.extend(out.iter().copied());
+        }
+        let outcome = Reshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())))
+            .reshape(&trace);
+        assert_eq!(staged.len(), outcome.assignments().len());
+        for ((flow, packet), (&(index, vif), original)) in staged
+            .iter()
+            .zip(outcome.assignments().iter().zip(trace.packets()))
+        {
+            assert_eq!(packet, original, "reshaping never rewrites packets");
+            assert_eq!(
+                stage.vif_of(*flow),
+                Some(vif),
+                "packet {index}: stage flow must map to the batch vif"
+            );
+        }
+        // Zero overhead, ledger-verified.
+        assert_eq!(stage.overhead().percent(), 0.0);
+        assert_eq!(stage.overhead().original_bytes, trace.total_bytes());
+        assert_eq!(stage.online().packets_seen(), trace.len() as u64);
+    }
+
+    #[test]
+    fn morph_like_prestage_feeds_the_engine_via_reshape_staged() {
+        // Pad-then-reshape through reshape_staged: every packet reaches the
+        // engine at the padded size, so OR sees only full-size packets.
+        let trace = bt_trace(2);
+        let mut pre = StagePipeline::new().with_stage(PacketPadder::new().stage());
+        let mut online =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let mut collector = SubTraceCollector::new(3, trace.app());
+        let consumed = reshape_staged(&mut trace.stream(), &mut pre, &mut online, &mut collector);
+        assert_eq!(consumed, trace.len());
+        assert_eq!(collector.len(), trace.len());
+        let subs = collector.into_traces();
+        let large_range = SizeRanges::paper_default().range_of(MAX_PACKET_SIZE);
+        for (i, sub) in subs.iter().enumerate() {
+            if i == large_range {
+                assert_eq!(sub.len(), trace.len(), "all padded packets land here");
+            } else {
+                assert!(sub.is_empty(), "interface {i} must be starved by padding");
+            }
+        }
+        assert_eq!(pre.overhead().original_bytes, trace.total_bytes());
+        assert!(pre.overhead().percent() > 0.0);
+    }
+
+    #[test]
+    fn reshape_then_pad_pads_every_sub_flow() {
+        // The per-vif padding composition: the padding stage sits downstream
+        // of the reshaper and pads each interface's sub-flow independently.
+        let trace = bt_trace(3);
+        let mut pipeline = StagePipeline::new()
+            .with_stage(or_stage())
+            .with_stage(PacketPadder::new().stage());
+        let mut flows: Vec<Vec<usize>> = Vec::new();
+        pipeline.run(&mut trace.stream(), |flow, p| {
+            let idx = flow as usize;
+            while flows.len() <= idx {
+                flows.push(Vec::new());
+            }
+            flows[idx].push(p.size);
+        });
+        assert_eq!(flows.iter().map(Vec::len).sum::<usize>(), trace.len());
+        assert!(flows.len() > 1, "BT covers more than one size range");
+        for sizes in &flows {
+            assert!(sizes.iter().all(|&s| s == MAX_PACKET_SIZE));
+        }
+        assert!(pipeline.overhead().percent() > 0.0);
+    }
+
+    #[test]
+    fn stage_reset_replays_deterministically() {
+        let trace = bt_trace(4);
+        let mut stage = ReshapeStage::new(Box::new(RoundRobin::new(3)));
+        let mut out = StageOutput::new();
+        let mut first = Vec::new();
+        for p in trace.packets() {
+            out.clear();
+            stage.on_packet(ROOT_FLOW, p, &mut out);
+            first.extend(out.iter().copied());
+        }
+        stage.reset();
+        assert_eq!(stage.flow_count(), 0);
+        assert_eq!(stage.overhead(), Overhead::default());
+        let mut second = Vec::new();
+        for p in trace.packets() {
+            out.clear();
+            stage.on_packet(ROOT_FLOW, p, &mut out);
+            second.extend(out.iter().copied());
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -16,10 +16,20 @@
 //!   [`OnlineReshaper`] and emitted as on-air frames one at a time — memory
 //!   stays O(1) even for unbounded sessions.
 //!
+//! The streaming adapter accepts a defense [`StagePipeline`] in front of
+//! the reshaper ([`stream_frames_staged`]): packets are padded, morphed or
+//! otherwise transformed stage by stage before the engine dispatches them, so
+//! composed defense∘reshape scenarios reach the air with no extra plumbing.
+//! On-air identity always comes from the reshaper's vif → MAC translation:
+//! upstream sub-flow ids are deliberately collapsed at the engine, so use
+//! transforming stages here — a partitioning stage (pseudonyms, FH) changes
+//! nothing on the air and belongs in the evaluation pipeline instead.
+//!
 //! Both paths resolve a packet's virtual MAC through the installed
 //! [`TranslationTable`], exactly as the paper's data path does, and produce
 //! byte-identical frames for the same packets, algorithm and seed.
 
+use crate::defense::stage::StagePipeline;
 use crate::reshape::online::OnlineReshaper;
 use crate::reshape::reshaper::Reshaper;
 use crate::reshape::translation::TranslationTable;
@@ -85,15 +95,22 @@ pub fn trace_to_frames(
         .collect()
 }
 
-/// The streaming packets → reshaper → frames adapter.
+/// The streaming packets → stages → reshaper → frames adapter.
 ///
-/// Pulls packets from a [`PacketSource`], assigns each to a virtual interface
-/// through the [`OnlineReshaper`] and yields the on-air frame immediately:
-/// one packet in flight at a time, no trace materialisation. Create one with
-/// [`stream_frames`].
+/// Pulls packets from a [`PacketSource`], runs each through an optional
+/// defense [`StagePipeline`] (identity by default), assigns every surviving
+/// packet to a virtual interface through the [`OnlineReshaper`] and yields
+/// the on-air frame immediately: at most one source packet in flight at a
+/// time, no trace materialisation. Create one with [`stream_frames`] or
+/// [`stream_frames_staged`].
 #[derive(Debug)]
 pub struct FrameStream<'a, S: PacketSource> {
     source: S,
+    stages: StagePipeline,
+    /// Staged packets not yet dispatched (a stage may emit several packets,
+    /// or none, per source packet).
+    pending: std::collections::VecDeque<PacketRecord>,
+    flushed: bool,
     reshaper: &'a mut OnlineReshaper,
     table: &'a TranslationTable,
     physical: MacAddress,
@@ -105,16 +122,38 @@ impl<S: PacketSource> FrameStream<'_, S> {
     pub fn packets_emitted(&self) -> u64 {
         self.reshaper.packets_seen()
     }
+
+    /// The defense pipeline in front of the reshaper (its overhead ledger
+    /// reports what the stages cost so far).
+    pub fn stages(&self) -> &StagePipeline {
+        &self.stages
+    }
 }
 
 impl<S: PacketSource> Iterator for FrameStream<'_, S> {
     type Item = (SimTime, Frame);
 
     fn next(&mut self) -> Option<(SimTime, Frame)> {
-        let packet = self.source.next_packet()?;
-        let vif = self.reshaper.assign(&packet);
-        let addr = on_air_address(self.table, self.physical, vif);
-        Some((packet.time, packet_to_frame(&packet, addr, self.ap)))
+        loop {
+            if let Some(packet) = self.pending.pop_front() {
+                let vif = self.reshaper.assign(&packet);
+                let addr = on_air_address(self.table, self.physical, vif);
+                return Some((packet.time, packet_to_frame(&packet, addr, self.ap)));
+            }
+            if self.flushed {
+                return None;
+            }
+            let pending = &mut self.pending;
+            match self.source.next_packet() {
+                Some(packet) => self
+                    .stages
+                    .process(&packet, |_, staged| pending.push_back(*staged)),
+                None => {
+                    self.flushed = true;
+                    self.stages.finish(|_, staged| pending.push_back(*staged));
+                }
+            }
+        }
     }
 }
 
@@ -128,8 +167,30 @@ pub fn stream_frames<'a, S: PacketSource>(
     physical: MacAddress,
     ap: MacAddress,
 ) -> FrameStream<'a, S> {
+    stream_frames_staged(source, StagePipeline::new(), reshaper, table, physical, ap)
+}
+
+/// Builds the streaming pipeline with a defense [`StagePipeline`] spliced in
+/// before the reshaper: packets → stages → reshaper → frames. The stages run
+/// per packet, so the composition streams in O(1) memory like the plain path.
+///
+/// The stages should be **transforming** (padding, morphing, a nested
+/// pipeline of both): every staged packet is dispatched through the reshaper,
+/// whose vif → MAC translation alone decides the on-air address, so any
+/// sub-flow partitioning an upstream stage performs is collapsed here.
+pub fn stream_frames_staged<'a, S: PacketSource>(
+    source: S,
+    stages: StagePipeline,
+    reshaper: &'a mut OnlineReshaper,
+    table: &'a TranslationTable,
+    physical: MacAddress,
+    ap: MacAddress,
+) -> FrameStream<'a, S> {
     FrameStream {
         source,
+        stages,
+        pending: std::collections::VecDeque::new(),
+        flushed: false,
         reshaper,
         table,
         physical,
@@ -342,6 +403,47 @@ mod tests {
             stream_frames(trace.stream(), &mut online, &table, station(), ap()).collect();
         assert_eq!(batch, streamed);
         assert_eq!(online.packets_seen() as usize, trace.len());
+    }
+
+    #[test]
+    fn staged_frame_stream_applies_defenses_before_reshaping() {
+        // Padding stage ∘ OR through the frames adapter: every frame leaves
+        // the air at the padded size, and the reshaper only ever saw
+        // full-size packets (they all land on the large-size interface).
+        use crate::defense::PacketPadder;
+        let (_, table) = installed_vifs(13, 3);
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 17).generate_secs(5.0);
+        let mut online =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let stages = StagePipeline::new().with_stage(PacketPadder::new().stage());
+        let frames: Vec<(SimTime, Frame)> =
+            stream_frames_staged(trace.stream(), stages, &mut online, &table, station(), ap())
+                .collect();
+        assert_eq!(frames.len(), trace.len());
+        assert!(frames.iter().all(|(_, f)| f.air_size() == 1576));
+        let large = SizeRanges::paper_default().range_of(1576);
+        assert_eq!(
+            online.packets_on(crate::reshape::vif::VifIndex::new(large)),
+            trace.len() as u64,
+            "padded packets all belong to the large-size interface"
+        );
+        // The staged and plain adapters agree when the pipeline is empty.
+        let mut plain =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let unstaged: Vec<(SimTime, Frame)> =
+            stream_frames(trace.stream(), &mut plain, &table, station(), ap()).collect();
+        let mut identity =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let staged_identity: Vec<(SimTime, Frame)> = stream_frames_staged(
+            trace.stream(),
+            StagePipeline::new(),
+            &mut identity,
+            &table,
+            station(),
+            ap(),
+        )
+        .collect();
+        assert_eq!(unstaged, staged_identity);
     }
 
     #[test]
