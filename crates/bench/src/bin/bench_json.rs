@@ -10,15 +10,27 @@
 //! **defended streaming path**: the same one-pass evaluation with a defense
 //! [`StagePipeline`] in front of the windowers (padding, morphing, and the
 //! composed morph∘OR scenario), so the perf trajectory covers stage-pipeline
-//! compositions too. Writes a small machine-readable baseline (default
+//! compositions too.
+//!
+//! Since the online-adversary refactor the baseline also records the **live
+//! adversary**: packets/second through windowing + prequential
+//! test-then-train (`adversary_train_pps`) and through windowing + frozen
+//! majority-vote prediction (`adversary_predict_pps`), plus the
+//! online-vs-batch mean accuracy of the adversary against the padding and
+//! morph∘OR defenses. Writes a small machine-readable baseline (default
 //! `BENCH_pipeline.json`) so the performance trajectory of the data plane is
 //! recorded PR over PR. Wired into CI as a non-blocking step via
 //! `make bench-json` (the JSON is uploaded as a CI artifact).
 //!
 //! [`StagePipeline`]: defenses::stage::StagePipeline
 
-use bench::pipeline::{defense_pipeline, DefenseKind};
-use classifier::stream::FlowWindowers;
+use bench::pipeline::{
+    defense_pipeline, evaluate_defense, evaluate_defense_online, online_adversary, train_adversary,
+    train_adversary_online, DefenseKind,
+};
+use bench::ExperimentConfig;
+use classifier::online::{OnlineAdversary, PrequentialEvaluator};
+use classifier::stream::{FlowWindowers, StreamingWindower};
 use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
 use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
@@ -137,6 +149,55 @@ fn defended_streaming_evaluate(
     trace.len()
 }
 
+/// Online-adversary training throughput: windowing + prequential
+/// test-then-train on every closed window, one pass over the packets. The
+/// adversary starts untrained (a fresh fork of `base` per iteration), so the
+/// measurement covers the steady per-packet cost of windowing plus the
+/// per-window cost of predict + partial_fit for all three members.
+fn adversary_train_evaluate(trace: &Trace, window: SimDuration, base: &OnlineAdversary) -> usize {
+    let app = trace.app().expect("bench trace is labelled");
+    let mut evaluator = PrequentialEvaluator::new(base.clone(), 1_000_000);
+    let mut windower =
+        StreamingWindower::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut source = trace.stream();
+    while let Some(packet) = source.next_packet() {
+        if let Some(example) = windower.push(&packet) {
+            evaluator.absorb(&example);
+        }
+    }
+    if let Some(example) = windower.finish() {
+        evaluator.absorb(&example);
+    }
+    std::hint::black_box(evaluator.examples());
+    trace.len()
+}
+
+/// Live prediction throughput: windowing + frozen majority-vote predictions
+/// from an already-trained online adversary, one pass over the packets.
+fn adversary_predict_evaluate(
+    trace: &Trace,
+    window: SimDuration,
+    adversary: &OnlineAdversary,
+) -> usize {
+    let app = trace.app().expect("bench trace is labelled");
+    let mut windower =
+        StreamingWindower::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut predictions = 0usize;
+    let mut source = trace.stream();
+    while let Some(packet) = source.next_packet() {
+        if let Some((features, _)) = windower.push(&packet) {
+            std::hint::black_box(adversary.predict_majority(&features));
+            predictions += 1;
+        }
+    }
+    if let Some((features, _)) = windower.finish() {
+        std::hint::black_box(adversary.predict_majority(&features));
+        predictions += 1;
+    }
+    std::hint::black_box(predictions);
+    trace.len()
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -163,10 +224,49 @@ fn main() {
     let (defended_morphing_pps, morphing_overhead_pct) = defended(DefenseKind::Morphing);
     let (defended_morph_or_pps, morph_or_overhead_pct) = defended(DefenseKind::MorphThenReshape);
 
+    // Live-adversary throughput: windowing + test-then-train (train) and
+    // windowing + frozen majority vote (predict) over the same workload.
+    let config = ExperimentConfig::quick();
+    let untrained = online_adversary(&config);
+    let (adversary_train_pps, _) = measure(|| adversary_train_evaluate(&trace, window, &untrained));
+    // One prequential warm-up pass serves both the predict measurement and
+    // the online accuracy phases below.
+    let warm_evaluator = train_adversary_online(&config, FeatureMode::Full);
+    let warm = warm_evaluator.adversary().clone();
+    let (adversary_predict_pps, _) = measure(|| adversary_predict_evaluate(&trace, window, &warm));
+
+    // Online-vs-batch adversary accuracy against the transforming and
+    // composed defenses (mean accuracy, the paper's metric).
+    let batch_adversary = train_adversary(&config, FeatureMode::Full);
+    let eval_corpus = config.evaluation_corpus();
+    let accuracy_pair = |defense: DefenseKind| {
+        let batch = evaluate_defense(
+            &batch_adversary,
+            &eval_corpus,
+            defense,
+            &config,
+            FeatureMode::Full,
+        )
+        .mean_accuracy();
+        let mut evaluator = warm_evaluator.clone();
+        let online = evaluate_defense_online(
+            &mut evaluator,
+            &eval_corpus,
+            defense,
+            &config,
+            config.eval_seed,
+            FeatureMode::Full,
+        )
+        .mean_accuracy();
+        (batch, online)
+    };
+    let (batch_acc_padding, online_acc_padding) = accuracy_pair(DefenseKind::Padding);
+    let (batch_acc_morph_or, online_acc_morph_or) = accuracy_pair(DefenseKind::MorphThenReshape);
+
     let reshape_speedup = reshape_streaming_pps / reshape_batch_pps;
     let eval_speedup = eval_streaming_pps / eval_batch_pps;
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"BitTorrent 60s, OR over 3 vifs, W=5s\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2}\n}}\n"
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"BitTorrent 60s, OR over 3 vifs, W=5s\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}\n}}\n"
     );
     std::fs::write(&output, &json).expect("write baseline json");
     println!("{json}");

@@ -3,25 +3,63 @@
 //! Not part of the paper's adversary, but a useful independent cross-check:
 //! if a dirt-simple generative model already separates the applications, the
 //! SVM/NN results are not an artifact of a particular discriminative trainer.
+//!
+//! The model is stored as **incremental sufficient statistics** — per-class
+//! counts plus Welford-style running means and centred second moments — so it
+//! learns online via [`OnlineClassifier::partial_fit`] in O(classes × dim)
+//! state and predicts straight off the cached means (no re-derivation on the
+//! hot path); the batch [`train`](GaussianNaiveBayes::train) entry point is a
+//! thin wrapper that feeds the dataset through `partial_fit` once, in dataset
+//! order. Welford's update is numerically stable for the same reason the
+//! shifted accumulation in [`RunningStats`](crate::stream::RunningStats) is:
+//! the second moment is accumulated already centred, so large means with tiny
+//! spreads never catastrophically cancel.
 
 use crate::dataset::Dataset;
 use crate::svm::argmax;
-use crate::Classifier;
+use crate::{Classifier, OnlineClassifier};
 use serde::{Deserialize, Serialize};
 
-/// A trained Gaussian naive Bayes classifier.
+/// A Gaussian naive Bayes classifier over incremental sufficient statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaussianNaiveBayes {
-    priors: Vec<f64>,
+    dim: usize,
+    /// Examples absorbed in total (cached sum of `counts`).
+    total: u64,
+    /// Examples absorbed per class.
+    counts: Vec<u64>,
+    /// Welford running mean per class and feature.
     means: Vec<Vec<f64>>,
-    variances: Vec<Vec<f64>>,
+    /// Welford centred second moment `M₂ = Σ (x − mean)²` per class and
+    /// feature (variance = `M₂ / count`).
+    m2s: Vec<Vec<f64>>,
 }
 
 /// Variance floor to keep the log-likelihood finite for constant features.
 const VARIANCE_FLOOR: f64 = 1e-6;
 
 impl GaussianNaiveBayes {
-    /// Fits per-class feature means/variances and class priors.
+    /// Creates an untrained model for `dim`-dimensional features over
+    /// `classes` classes. Absorb examples with
+    /// [`partial_fit`](OnlineClassifier::partial_fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(dim: usize, classes: usize) -> Self {
+        assert!(classes > 0, "naive Bayes needs at least one class");
+        GaussianNaiveBayes {
+            dim,
+            total: 0,
+            counts: vec![0; classes],
+            means: vec![vec![0.0; dim]; classes],
+            m2s: vec![vec![0.0; dim]; classes],
+        }
+    }
+
+    /// Fits per-class feature means/variances and class priors — a thin
+    /// wrapper over one [`partial_fit`](OnlineClassifier::partial_fit) pass in
+    /// dataset order (the equivalence is property-tested).
     ///
     /// # Panics
     ///
@@ -31,58 +69,33 @@ impl GaussianNaiveBayes {
             !data.is_empty(),
             "cannot train naive Bayes on an empty dataset"
         );
-        let classes = data.class_count();
-        let dim = data.dim();
-        let mut counts = vec![0usize; classes];
-        let mut means = vec![vec![0.0; dim]; classes];
+        let mut nb = GaussianNaiveBayes::new(data.dim(), data.class_count());
         for e in data.examples() {
-            counts[e.label] += 1;
-            for (m, x) in means[e.label].iter_mut().zip(&e.features) {
-                *m += x;
-            }
+            nb.partial_fit(&e.features, e.label);
         }
-        for (c, count) in counts.iter().enumerate() {
-            if *count > 0 {
-                for m in &mut means[c] {
-                    *m /= *count as f64;
-                }
-            }
-        }
-        let mut variances = vec![vec![0.0; dim]; classes];
-        for e in data.examples() {
-            for ((v, m), x) in variances[e.label]
-                .iter_mut()
-                .zip(&means[e.label])
-                .zip(&e.features)
-            {
-                *v += (x - m).powi(2);
-            }
-        }
-        for (c, count) in counts.iter().enumerate() {
-            for v in &mut variances[c] {
-                *v = (*v / (*count).max(1) as f64).max(VARIANCE_FLOOR);
-            }
-        }
-        let total = data.len() as f64;
-        let priors = counts
-            .iter()
-            .map(|&c| (c as f64 / total).max(1e-12))
-            .collect();
-        GaussianNaiveBayes {
-            priors,
-            means,
-            variances,
-        }
+        nb
     }
 
-    /// Per-class log posterior (up to a constant) for a feature vector.
+    /// Per-class log posterior (up to a constant) for a feature vector —
+    /// read-only over the cached Welford statistics.
     pub fn log_posteriors(&self, features: &[f64]) -> Vec<f64> {
-        self.priors
-            .iter()
-            .zip(self.means.iter().zip(&self.variances))
-            .map(|(prior, (means, vars))| {
+        let total = self.total.max(1) as f64;
+        (0..self.counts.len())
+            .map(|c| {
+                let prior = (self.counts[c] as f64 / total).max(1e-12);
+                let n = self.counts[c] as f64;
                 let mut lp = prior.ln();
-                for ((x, m), v) in features.iter().zip(means).zip(vars) {
+                for ((x, m), m2) in features
+                    .iter()
+                    .take(self.dim)
+                    .zip(&self.means[c])
+                    .zip(&self.m2s[c])
+                {
+                    let v = if self.counts[c] == 0 {
+                        VARIANCE_FLOOR
+                    } else {
+                        (m2 / n).max(VARIANCE_FLOOR)
+                    };
                     lp += -0.5 * ((x - m).powi(2) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
                 }
                 lp
@@ -92,7 +105,7 @@ impl GaussianNaiveBayes {
 
     /// Number of classes.
     pub fn class_count(&self) -> usize {
-        self.priors.len()
+        self.counts.len()
     }
 }
 
@@ -103,6 +116,39 @@ impl Classifier for GaussianNaiveBayes {
 
     fn name(&self) -> &'static str {
         "naive-bayes"
+    }
+}
+
+impl OnlineClassifier for GaussianNaiveBayes {
+    fn partial_fit(&mut self, features: &[f64], label: usize) {
+        assert!(
+            label < self.counts.len(),
+            "label {label} out of range for {} classes",
+            self.counts.len()
+        );
+        self.counts[label] += 1;
+        self.total += 1;
+        let n = self.counts[label] as f64;
+        for ((&x, m), m2) in features
+            .iter()
+            .take(self.dim)
+            .zip(&mut self.means[label])
+            .zip(&mut self.m2s[label])
+        {
+            // Welford: centre against the running mean before and after the
+            // mean update.
+            let delta = x - *m;
+            *m += delta / n;
+            *m2 += delta * (x - *m);
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.total
+    }
+
+    fn clone_online(&self) -> Box<dyn OnlineClassifier> {
+        Box::new(self.clone())
     }
 }
 
@@ -165,6 +211,45 @@ mod tests {
         let nb = GaussianNaiveBayes::train(&data);
         // With heavily overlapping likelihoods the prior dominates.
         assert_eq!(nb.predict(&[0.05]), 0);
+    }
+
+    #[test]
+    fn partial_fit_matches_batch_train_exactly() {
+        let data = gaussian_blobs(7);
+        let batch = GaussianNaiveBayes::train(&data);
+        let mut online = GaussianNaiveBayes::new(data.dim(), data.class_count());
+        for e in data.examples() {
+            online.partial_fit(&e.features, e.label);
+        }
+        assert_eq!(batch, online);
+        assert_eq!(online.examples_seen(), data.len() as u64);
+    }
+
+    #[test]
+    fn replayed_epochs_do_not_change_predictions() {
+        // Duplicating the data k times scales every sufficient statistic by k,
+        // leaving priors, means and variances (hence predictions) unchanged.
+        let data = gaussian_blobs(9);
+        let one = GaussianNaiveBayes::train(&data);
+        let mut three = GaussianNaiveBayes::new(data.dim(), data.class_count());
+        for _ in 0..3 {
+            for e in data.examples() {
+                three.partial_fit(&e.features, e.label);
+            }
+        }
+        for e in data.examples() {
+            assert_eq!(one.predict(&e.features), three.predict(&e.features));
+        }
+    }
+
+    #[test]
+    fn untrained_class_keeps_posteriors_finite() {
+        let mut nb = GaussianNaiveBayes::new(2, 3);
+        nb.partial_fit(&[1.0, 2.0], 0);
+        let lp = nb.log_posteriors(&[1.0, 2.0]);
+        assert_eq!(lp.len(), 3);
+        assert!(lp.iter().all(|v| v.is_finite()));
+        assert_eq!(nb.predict(&[1.0, 2.0]), 0);
     }
 
     #[test]

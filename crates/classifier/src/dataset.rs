@@ -1,5 +1,6 @@
 //! Labelled datasets, normalisation and train/test splitting.
 
+use crate::stream::RunningStats;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -144,44 +145,38 @@ impl Dataset {
 }
 
 /// Per-column z-score normalisation fitted on a training set.
+///
+/// This is the **frozen snapshot** form: fixed means and standard deviations
+/// fitted once (on a batch training set, or taken from a
+/// [`RunningNormalizer`] at any point of a stream).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Normalizer {
     means: Vec<f64>,
     stds: Vec<f64>,
 }
 
+/// Replaces a degenerate scale with 1.0 so constant (zero-variance) columns
+/// pass through centred instead of dividing by zero into NaN/inf features.
+/// The `s > …` comparison is false for a NaN scale (conceivable only through
+/// pathological float accumulation), so that also takes the safe fallback.
+fn safe_std(s: f64) -> f64 {
+    if s > 1e-12 {
+        s
+    } else {
+        1.0
+    }
+}
+
 impl Normalizer {
-    /// Fits means and standard deviations per feature column.
+    /// Fits means and standard deviations per feature column — a thin wrapper
+    /// over a [`RunningNormalizer`] absorbing the dataset once and
+    /// snapshotting.
     pub fn fit(data: &Dataset) -> Self {
-        let dim = data.dim();
-        let n = data.len().max(1) as f64;
-        let mut means = vec![0.0; dim];
+        let mut running = RunningNormalizer::new(data.dim());
         for e in data.examples() {
-            for (m, v) in means.iter_mut().zip(&e.features) {
-                *m += v;
-            }
+            running.observe(&e.features);
         }
-        for m in &mut means {
-            *m /= n;
-        }
-        let mut vars = vec![0.0; dim];
-        for e in data.examples() {
-            for ((v, m), x) in vars.iter_mut().zip(&means).zip(&e.features) {
-                *v += (x - m).powi(2);
-            }
-        }
-        let stds = vars
-            .into_iter()
-            .map(|v| {
-                let s = (v / n).sqrt();
-                if s < 1e-12 {
-                    1.0
-                } else {
-                    s
-                }
-            })
-            .collect();
-        Normalizer { means, stds }
+        running.snapshot()
     }
 
     /// Applies the normalisation to one feature vector.
@@ -191,6 +186,64 @@ impl Normalizer {
             .zip(self.means.iter().zip(&self.stds))
             .map(|(x, (m, s))| (x - m) / s)
             .collect()
+    }
+}
+
+/// Streaming z-score normalisation: per-column [`RunningStats`] updated one
+/// example at a time, applying the **current** statistics to each vector.
+///
+/// This is the online adversary's replacement for the static [`Normalizer`]:
+/// there is no training set to fit on up front, so the scale estimates evolve
+/// with the stream. O(dim) state; [`snapshot`](Self::snapshot) freezes the
+/// current statistics into a [`Normalizer`] (which is exactly how
+/// [`Normalizer::fit`] is implemented).
+#[derive(Debug, Clone, Default)]
+pub struct RunningNormalizer {
+    stats: Vec<RunningStats>,
+}
+
+impl RunningNormalizer {
+    /// Creates a normalizer for `dim`-dimensional features.
+    pub fn new(dim: usize) -> Self {
+        RunningNormalizer {
+            stats: vec![RunningStats::default(); dim],
+        }
+    }
+
+    /// The feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Number of feature vectors absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.stats.first().map_or(0, RunningStats::count)
+    }
+
+    /// Absorbs one feature vector into the per-column statistics.
+    pub fn observe(&mut self, features: &[f64]) {
+        for (s, &x) in self.stats.iter_mut().zip(features) {
+            s.push(x);
+        }
+    }
+
+    /// Applies the current z-score statistics to one feature vector.
+    /// Zero-variance columns are centred but not scaled (see [`safe_std`] —
+    /// before the fix a constant column yielded NaN/inf features).
+    pub fn apply(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(&self.stats)
+            .map(|(x, s)| (x - s.mean()) / safe_std(s.std_dev()))
+            .collect()
+    }
+
+    /// Freezes the current statistics into a static [`Normalizer`].
+    pub fn snapshot(&self) -> Normalizer {
+        Normalizer {
+            means: self.stats.iter().map(RunningStats::mean).collect(),
+            stds: self.stats.iter().map(|s| safe_std(s.std_dev())).collect(),
+        }
     }
 }
 
@@ -245,14 +298,63 @@ mod tests {
 
     #[test]
     fn constant_columns_do_not_divide_by_zero() {
-        let mut d = Dataset::new(1);
-        for _ in 0..5 {
-            d.push(vec![3.0], 0);
+        // Regression test: a zero-variance (constant) feature column must not
+        // produce NaN/inf features on either the batch or the running path.
+        let mut d = Dataset::new(2);
+        for i in 0..5 {
+            d.push(vec![3.0, i as f64], 0);
         }
         let norm = d.fit_normalizer();
-        let out = norm.apply(&[3.0]);
+        let out = norm.apply(&[3.0, 2.0]);
         assert!(out[0].abs() < 1e-12);
-        assert!(out[0].is_finite());
+        assert!(out.iter().all(|v| v.is_finite()), "batch: {out:?}");
+        // Off-mean values of the constant column stay finite too (centred,
+        // unscaled).
+        let off = norm.apply(&[7.5, 2.0]);
+        assert!(off.iter().all(|v| v.is_finite()), "batch off-mean: {off:?}");
+        assert!((off[0] - 4.5).abs() < 1e-12);
+
+        let mut running = RunningNormalizer::new(2);
+        for e in d.examples() {
+            running.observe(&e.features);
+        }
+        let out = running.apply(&[3.0, 2.0]);
+        assert!(out.iter().all(|v| v.is_finite()), "running: {out:?}");
+        let off = running.apply(&[7.5, 2.0]);
+        assert!(
+            off.iter().all(|v| v.is_finite()),
+            "running off-mean: {off:?}"
+        );
+    }
+
+    #[test]
+    fn running_normalizer_matches_batch_fit() {
+        let d = toy_dataset();
+        let batch = d.fit_normalizer();
+        let mut running = RunningNormalizer::new(d.dim());
+        for e in d.examples() {
+            running.observe(&e.features);
+        }
+        assert_eq!(running.count(), d.len() as u64);
+        assert_eq!(running.dim(), d.dim());
+        // Normalizer::fit is literally a running snapshot, so the frozen
+        // statistics agree exactly, and apply() agrees between the running
+        // and snapshot forms.
+        assert_eq!(running.snapshot(), batch);
+        let x = &d.examples()[7].features;
+        assert_eq!(running.apply(x), batch.apply(x));
+    }
+
+    #[test]
+    fn running_normalizer_evolves_with_the_stream() {
+        let mut running = RunningNormalizer::new(1);
+        running.observe(&[0.0]);
+        // One sample: zero variance, centred but unscaled.
+        assert_eq!(running.apply(&[1.0]), vec![1.0]);
+        running.observe(&[10.0]);
+        // Mean 5, std 5 now.
+        let z = running.apply(&[10.0]);
+        assert!((z[0] - 1.0).abs() < 1e-12);
     }
 
     #[test]

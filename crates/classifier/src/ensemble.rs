@@ -112,13 +112,36 @@ impl AdversaryEnsemble {
     /// Evaluates the ensemble the way the paper reports results: the member
     /// with the highest *mean accuracy* on the evaluation set is selected and
     /// its confusion matrix returned together with its name.
+    ///
+    /// Runs every member exactly once ([`evaluate_all`](Self::evaluate_all))
+    /// and selects with [`best_of`](Self::best_of); callers that already hold
+    /// `evaluate_all` results should call `best_of` directly instead of
+    /// re-running the evaluations.
     pub fn evaluate_best(&self, eval: &Dataset) -> (&'static str, ConfusionMatrix) {
-        self.evaluate_all(eval)
+        Self::best_of(self.evaluate_all(eval))
+    }
+
+    /// Selects the best member from **cached** `(name, confusion matrix)`
+    /// evaluation results: highest mean accuracy, with exact ties broken
+    /// deterministically in favour of the lexicographically smallest member
+    /// name (so "naive-bayes" beats "nn" beats "svm" at equal accuracy,
+    /// regardless of training order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn best_of(
+        results: Vec<(&'static str, ConfusionMatrix)>,
+    ) -> (&'static str, ConfusionMatrix) {
+        results
             .into_iter()
-            .max_by(|(_, a), (_, b)| {
+            .max_by(|(name_a, a), (name_b, b)| {
                 a.mean_accuracy()
                     .partial_cmp(&b.mean_accuracy())
                     .expect("accuracies are finite")
+                    // On an exact accuracy tie the *smaller* name must rank
+                    // higher, hence the reversed comparison.
+                    .then_with(|| name_b.cmp(name_a))
             })
             .expect("ensemble has at least one classifier")
     }
@@ -127,25 +150,40 @@ impl AdversaryEnsemble {
     /// majority vote (ties broken in favour of the first member, the SVM).
     pub fn predict_majority(&self, features: &[f64]) -> usize {
         let normalized = self.normalizer.apply(features);
-        let mut votes = vec![0usize; self.class_count.max(1)];
-        for c in &self.classifiers {
-            let p = c.predict(&normalized);
-            if p < votes.len() {
-                votes[p] += 1;
-            }
+        let predictions: Vec<usize> = self
+            .classifiers
+            .iter()
+            .map(|c| c.predict(&normalized))
+            .collect();
+        majority_vote(&predictions, self.class_count)
+    }
+}
+
+/// The shared majority-vote rule of the batch and online adversaries: the
+/// most-voted class wins, with ties broken in favour of the first member's
+/// prediction (the SVM).
+///
+/// # Panics
+///
+/// Panics if `predictions` is empty.
+pub(crate) fn majority_vote(predictions: &[usize], classes: usize) -> usize {
+    let mut votes = vec![0usize; classes.max(1)];
+    for &p in predictions {
+        if p < votes.len() {
+            votes[p] += 1;
         }
-        let first_choice = self.classifiers[0].predict(&normalized);
-        let max_votes = votes.iter().copied().max().unwrap_or(0);
-        if votes.get(first_choice).copied().unwrap_or(0) == max_votes {
-            first_choice
-        } else {
-            votes
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, v)| **v)
-                .map(|(i, _)| i)
-                .unwrap_or(first_choice)
-        }
+    }
+    let first_choice = predictions[0];
+    let max_votes = votes.iter().copied().max().unwrap_or(0);
+    if votes.get(first_choice).copied().unwrap_or(0) == max_votes {
+        first_choice
+    } else {
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(first_choice)
     }
 }
 
@@ -192,10 +230,35 @@ mod tests {
         let train = blobs(3, 2.5);
         let test = blobs(4, 2.5);
         let ensemble = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
-        let (_, best) = ensemble.evaluate_best(&test);
-        for (_, m) in ensemble.evaluate_all(&test) {
+        // One evaluation pass, cached; selection re-uses the matrices.
+        let all = ensemble.evaluate_all(&test);
+        let (_, best) = AdversaryEnsemble::best_of(all.clone());
+        for (_, m) in &all {
             assert!(best.mean_accuracy() >= m.mean_accuracy() - 1e-12);
         }
+        // evaluate_best agrees with best_of over the cached results.
+        let (name, matrix) = ensemble.evaluate_best(&test);
+        let (cached_name, cached_matrix) = AdversaryEnsemble::best_of(all);
+        assert_eq!(name, cached_name);
+        assert_eq!(matrix, cached_matrix);
+    }
+
+    #[test]
+    fn accuracy_ties_break_deterministically_by_member_name() {
+        use crate::metrics::ConfusionMatrix;
+        let perfect = ConfusionMatrix::from_pairs(2, &[(0, 0), (1, 1)]);
+        // Equal accuracy in every order: the lexicographically smallest name wins.
+        for results in [
+            vec![("svm", perfect.clone()), ("nn", perfect.clone())],
+            vec![("nn", perfect.clone()), ("svm", perfect.clone())],
+        ] {
+            let (name, _) = AdversaryEnsemble::best_of(results);
+            assert_eq!(name, "nn");
+        }
+        // A strictly better member still wins regardless of its name.
+        let worse = ConfusionMatrix::from_pairs(2, &[(0, 0), (1, 0)]);
+        let (name, _) = AdversaryEnsemble::best_of(vec![("aaa", worse), ("svm", perfect.clone())]);
+        assert_eq!(name, "svm");
     }
 
     #[test]

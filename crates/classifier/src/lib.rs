@@ -23,6 +23,11 @@
 //! * [`metrics`] — confusion matrices, per-class accuracy and the paper's
 //!   false-positive metric.
 //! * [`ensemble`] — "highest accuracy of SVM/NN", as reported by the paper.
+//! * [`online`] — the **streaming adversary**: every classifier also
+//!   implements [`OnlineClassifier`] (incremental `partial_fit` on single
+//!   window examples), and [`online::PrequentialEvaluator`] /
+//!   [`online::AdversarySink`] score a live packet stream test-then-train,
+//!   window by window, without ever materialising a dataset.
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@ pub mod ensemble;
 pub mod features;
 pub mod metrics;
 pub mod nn;
+pub mod online;
 pub mod stream;
 pub mod svm;
 pub mod window;
@@ -60,6 +66,7 @@ pub mod window;
 pub use dataset::Dataset;
 pub use features::FeatureVector;
 pub use metrics::ConfusionMatrix;
+pub use online::{AdversarySink, OnlineAdversary, PrequentialEvaluator};
 pub use stream::{streamed_examples, FlowWindowers, StreamingWindower, WindowExample};
 
 /// A trained multi-class classifier.
@@ -79,5 +86,33 @@ pub trait Classifier: std::fmt::Debug + Send + Sync {
             .iter()
             .map(|ex| (ex.label, self.predict(&ex.features)))
             .collect()
+    }
+}
+
+/// A classifier that learns **incrementally**, one window example at a time.
+///
+/// This is the contract of the streaming adversary: models start empty (or
+/// randomly initialised) and absorb labelled examples as the
+/// [`StreamingWindower`] closes windows — no materialised [`Dataset`], no
+/// separate training phase. Every batch `train` entry point in this crate is
+/// a thin seeded wrapper over epochs of [`partial_fit`](Self::partial_fit)
+/// (equivalence is property-tested in `tests/online_equivalence.rs`), so the
+/// batch and online adversaries share one learning implementation per model.
+pub trait OnlineClassifier: Classifier {
+    /// Absorbs one labelled example: a single SGD step for the
+    /// discriminative models, a sufficient-statistics update for naive Bayes.
+    fn partial_fit(&mut self, features: &[f64], label: usize);
+
+    /// Number of examples absorbed so far (counting repeats across epochs).
+    fn examples_seen(&self) -> u64;
+
+    /// Clones the model behind the trait object, so a warm-started adversary
+    /// can be forked per station without knowing the concrete type.
+    fn clone_online(&self) -> Box<dyn OnlineClassifier>;
+}
+
+impl Clone for Box<dyn OnlineClassifier> {
+    fn clone(&self) -> Self {
+        self.clone_online()
     }
 }

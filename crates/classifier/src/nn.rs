@@ -3,10 +3,16 @@
 //! One hidden layer with ReLU activations and a softmax output trained with
 //! mini-batch stochastic gradient descent on the cross-entropy loss. This is
 //! the "NN" half of the paper's SVM/NN adversary.
+//!
+//! The trainer is SGD, so the network is also an [`OnlineClassifier`]:
+//! [`partial_fit`](OnlineClassifier::partial_fit) performs one
+//! single-example gradient step (a mini-batch of one), sharing the
+//! forward/backward implementation with the batch
+//! [`train`](NeuralNet::train) loop.
 
 use crate::dataset::Dataset;
 use crate::svm::argmax;
-use crate::Classifier;
+use crate::{Classifier, OnlineClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -36,7 +42,7 @@ impl Default for NnConfig {
     }
 }
 
-/// A trained multi-layer perceptron.
+/// A multi-layer perceptron (trainable incrementally).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NeuralNet {
     // Layer 1: hidden_units x dim, layer 2: classes x hidden_units.
@@ -44,27 +50,40 @@ pub struct NeuralNet {
     b1: Vec<f64>,
     w2: Vec<Vec<f64>>,
     b2: Vec<f64>,
+    /// Learning rate used by single-example `partial_fit` steps.
+    learning_rate: f64,
+    /// Examples absorbed so far (counting repeats across epochs).
+    seen: u64,
+}
+
+/// Accumulated gradients for one mini-batch (or one example).
+struct Gradients {
+    gw1: Vec<Vec<f64>>,
+    gb1: Vec<f64>,
+    gw2: Vec<Vec<f64>>,
+    gb2: Vec<f64>,
 }
 
 impl NeuralNet {
-    /// Trains the network on a dataset.
+    /// Creates a randomly-initialised, untrained network for
+    /// `dim`-dimensional features over `classes` classes. Absorb examples
+    /// with [`partial_fit`](OnlineClassifier::partial_fit).
     ///
     /// # Panics
     ///
-    /// Panics if the dataset is empty.
-    pub fn train(data: &Dataset, config: &NnConfig, seed: u64) -> Self {
-        assert!(
-            !data.is_empty(),
-            "cannot train a network on an empty dataset"
-        );
-        let dim = data.dim();
-        let classes = data.class_count();
-        let hidden = config.hidden_units.max(1);
-        let mut rng = StdRng::seed_from_u64(seed);
+    /// Panics if `classes` is zero.
+    pub fn new(dim: usize, classes: usize, config: &NnConfig, seed: u64) -> Self {
+        Self::init_with_rng(dim, classes, config, &mut StdRng::seed_from_u64(seed))
+    }
 
+    /// Random initialisation drawing from the caller's rng (so the batch
+    /// trainer can keep drawing its shuffles from the same stream).
+    fn init_with_rng(dim: usize, classes: usize, config: &NnConfig, rng: &mut StdRng) -> Self {
+        assert!(classes > 0, "a network needs at least one class");
+        let hidden = config.hidden_units.max(1);
         let scale1 = (2.0 / dim as f64).sqrt();
         let scale2 = (2.0 / hidden as f64).sqrt();
-        let mut net = NeuralNet {
+        NeuralNet {
             w1: (0..hidden)
                 .map(|_| (0..dim).map(|_| rng.gen_range(-scale1..scale1)).collect())
                 .collect(),
@@ -77,66 +96,105 @@ impl NeuralNet {
                 })
                 .collect(),
             b2: vec![0.0; classes],
-        };
+            learning_rate: config.learning_rate,
+            seen: 0,
+        }
+    }
+
+    /// Trains the network on a dataset: [`new`](Self::new) plus
+    /// `config.epochs` mini-batch passes over a seeded shuffle. Each
+    /// mini-batch shares the gradient accumulation with
+    /// [`partial_fit`](OnlineClassifier::partial_fit) (which is a mini-batch
+    /// of one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(data: &Dataset, config: &NnConfig, seed: u64) -> Self {
+        assert!(
+            !data.is_empty(),
+            "cannot train a network on an empty dataset"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = NeuralNet::init_with_rng(data.dim(), data.class_count(), config, &mut rng);
 
         let mut order: Vec<usize> = (0..data.len()).collect();
         let examples = data.examples();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(config.batch_size.max(1)) {
-                // Accumulated gradients.
-                let mut gw1 = vec![vec![0.0; dim]; hidden];
-                let mut gb1 = vec![0.0; hidden];
-                let mut gw2 = vec![vec![0.0; hidden]; classes];
-                let mut gb2 = vec![0.0; classes];
+                let mut grads = net.zero_gradients();
                 for &idx in batch {
                     let ex = &examples[idx];
-                    let (hidden_out, probs) = net.forward(&ex.features);
-                    // Output delta: softmax cross-entropy gradient.
-                    let mut delta_out = probs;
-                    delta_out[ex.label] -= 1.0;
-                    for c in 0..classes {
-                        for h in 0..hidden {
-                            gw2[c][h] += delta_out[c] * hidden_out[h];
-                        }
-                        gb2[c] += delta_out[c];
-                    }
-                    // Hidden delta through ReLU.
-                    for h in 0..hidden {
-                        if hidden_out[h] <= 0.0 {
-                            continue;
-                        }
-                        let d: f64 = delta_out
-                            .iter()
-                            .zip(&net.w2)
-                            .map(|(dc, w2c)| dc * w2c[h])
-                            .sum();
-                        for (g, x) in gw1[h].iter_mut().zip(&ex.features) {
-                            *g += d * x;
-                        }
-                        gb1[h] += d;
-                    }
+                    net.accumulate(&ex.features, ex.label, &mut grads);
+                    net.seen += 1;
                 }
-                let step = config.learning_rate / batch.len() as f64;
-                for (row, grad_row) in net.w1.iter_mut().zip(&gw1) {
-                    for (w, g) in row.iter_mut().zip(grad_row) {
-                        *w -= step * g;
-                    }
-                }
-                for (b, g) in net.b1.iter_mut().zip(&gb1) {
-                    *b -= step * g;
-                }
-                for (row, grad_row) in net.w2.iter_mut().zip(&gw2) {
-                    for (w, g) in row.iter_mut().zip(grad_row) {
-                        *w -= step * g;
-                    }
-                }
-                for (b, g) in net.b2.iter_mut().zip(&gb2) {
-                    *b -= step * g;
-                }
+                net.apply(&grads, config.learning_rate / batch.len() as f64);
             }
         }
         net
+    }
+
+    fn zero_gradients(&self) -> Gradients {
+        let dim = self.w1.first().map_or(0, Vec::len);
+        let hidden = self.w1.len();
+        let classes = self.w2.len();
+        Gradients {
+            gw1: vec![vec![0.0; dim]; hidden],
+            gb1: vec![0.0; hidden],
+            gw2: vec![vec![0.0; hidden]; classes],
+            gb2: vec![0.0; classes],
+        }
+    }
+
+    /// Adds one example's softmax cross-entropy gradient into `grads`.
+    fn accumulate(&self, features: &[f64], label: usize, grads: &mut Gradients) {
+        let hidden = self.w1.len();
+        let (hidden_out, probs) = self.forward(features);
+        // Output delta: softmax cross-entropy gradient.
+        let mut delta_out = probs;
+        delta_out[label] -= 1.0;
+        for (c, &delta) in delta_out.iter().enumerate() {
+            for (g, h_out) in grads.gw2[c].iter_mut().zip(&hidden_out) {
+                *g += delta * h_out;
+            }
+            grads.gb2[c] += delta;
+        }
+        // Hidden delta through ReLU.
+        for h in 0..hidden {
+            if hidden_out[h] <= 0.0 {
+                continue;
+            }
+            let d: f64 = delta_out
+                .iter()
+                .zip(&self.w2)
+                .map(|(dc, w2c)| dc * w2c[h])
+                .sum();
+            for (g, x) in grads.gw1[h].iter_mut().zip(features) {
+                *g += d * x;
+            }
+            grads.gb1[h] += d;
+        }
+    }
+
+    /// Applies accumulated gradients with step size `step`.
+    fn apply(&mut self, grads: &Gradients, step: f64) {
+        for (row, grad_row) in self.w1.iter_mut().zip(&grads.gw1) {
+            for (w, g) in row.iter_mut().zip(grad_row) {
+                *w -= step * g;
+            }
+        }
+        for (b, g) in self.b1.iter_mut().zip(&grads.gb1) {
+            *b -= step * g;
+        }
+        for (row, grad_row) in self.w2.iter_mut().zip(&grads.gw2) {
+            for (w, g) in row.iter_mut().zip(grad_row) {
+                *w -= step * g;
+            }
+        }
+        for (b, g) in self.b2.iter_mut().zip(&grads.gb2) {
+            *b -= step * g;
+        }
     }
 
     /// Forward pass returning `(hidden activations, class probabilities)`.
@@ -184,6 +242,23 @@ impl Classifier for NeuralNet {
 
     fn name(&self) -> &'static str {
         "nn"
+    }
+}
+
+impl OnlineClassifier for NeuralNet {
+    fn partial_fit(&mut self, features: &[f64], label: usize) {
+        let mut grads = self.zero_gradients();
+        self.accumulate(features, label, &mut grads);
+        self.apply(&grads, self.learning_rate);
+        self.seen += 1;
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn clone_online(&self) -> Box<dyn OnlineClassifier> {
+        Box::new(self.clone())
     }
 }
 
@@ -262,5 +337,24 @@ mod tests {
     #[should_panic]
     fn empty_dataset_panics() {
         let _ = NeuralNet::train(&Dataset::new(2), &NnConfig::default(), 0);
+    }
+
+    #[test]
+    fn partial_fit_learns_the_ring_incrementally() {
+        let data = ring_dataset(7);
+        let mut net = NeuralNet::new(data.dim(), data.class_count(), &NnConfig::default(), 11);
+        for _ in 0..30 {
+            for e in data.examples() {
+                net.partial_fit(&e.features, e.label);
+            }
+        }
+        assert_eq!(net.examples_seen(), 30 * data.len() as u64);
+        let correct = net
+            .predict_dataset(&data)
+            .iter()
+            .filter(|(t, p)| t == p)
+            .count();
+        let accuracy = correct as f64 / data.len() as f64;
+        assert!(accuracy > 0.85, "online accuracy {accuracy}");
     }
 }

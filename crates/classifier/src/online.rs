@@ -1,0 +1,502 @@
+//! The streaming adversary: incremental learning and prequential evaluation.
+//!
+//! The paper's threat model is an eavesdropper observing MAC-layer traffic
+//! *live*. The batch [`AdversaryEnsemble`](crate::ensemble::AdversaryEnsemble)
+//! models the strongest version of that adversary — trained offline on a
+//! materialised dataset — while this module models the *online* one, closing
+//! the streaming loop the rest of the pipeline already runs:
+//!
+//! * [`OnlineAdversary`] — the incremental counterpart of the ensemble: a
+//!   [`RunningNormalizer`] (statistics evolve with the stream) in front of
+//!   one [`OnlineClassifier`] per member (SVM, NN and optionally naive
+//!   Bayes), all learning one [`WindowExample`] at a time.
+//! * [`PrequentialEvaluator`] — the standard online-learning protocol:
+//!   **test, then train**. Every example is first classified with the model
+//!   as it stands (counted into live per-member and majority-vote
+//!   [`ConfusionMatrix`]es and an accuracy timeline), and only then used for
+//!   learning. The timeline is what exposes concept drift: splice a defense
+//!   into the session and the curve drops.
+//! * [`AdversarySink`] — the packet-facing end: per-sub-flow
+//!   [`StreamingWindower`](crate::stream::StreamingWindower)s (a
+//!   [`FlowWindowers`] bank) feeding every closed window straight into the
+//!   evaluator. Push `(flow, packet)` pairs from any defense stage pipeline
+//!   and the adversary learns and scores as the windows close — no dataset,
+//!   no second pass, O(flows + models) state.
+
+use crate::dataset::RunningNormalizer;
+use crate::ensemble::{majority_vote, EnsembleConfig};
+use crate::metrics::ConfusionMatrix;
+use crate::nn::NeuralNet;
+use crate::stream::{FlowWindowers, WindowExample};
+use crate::svm::LinearSvm;
+use crate::{bayes::GaussianNaiveBayes, OnlineClassifier};
+use traffic_gen::packet::PacketRecord;
+
+/// The incremental adversary: a running normalizer plus one online classifier
+/// per ensemble member.
+///
+/// Clone a trained (or warm-started) adversary to fork it — e.g. one
+/// independent copy per station in a multi-station scenario.
+#[derive(Debug, Clone)]
+pub struct OnlineAdversary {
+    normalizer: RunningNormalizer,
+    members: Vec<Box<dyn OnlineClassifier>>,
+    classes: usize,
+    examples_seen: u64,
+}
+
+impl OnlineAdversary {
+    /// Creates an untrained online adversary for `dim`-dimensional features
+    /// over `classes` classes, with the same member line-up and seeding rule
+    /// as the batch ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(dim: usize, classes: usize, config: &EnsembleConfig) -> Self {
+        assert!(classes > 0, "the adversary needs at least one class");
+        let mut members: Vec<Box<dyn OnlineClassifier>> = Vec::new();
+        members.push(Box::new(LinearSvm::new(dim, classes, &config.svm)));
+        members.push(Box::new(NeuralNet::new(
+            dim,
+            classes,
+            &config.nn,
+            config.seed ^ 0x55,
+        )));
+        if config.include_bayes {
+            members.push(Box::new(GaussianNaiveBayes::new(dim, classes)));
+        }
+        OnlineAdversary {
+            normalizer: RunningNormalizer::new(dim),
+            members,
+            classes,
+            examples_seen: 0,
+        }
+    }
+
+    /// The number of classes the adversary distinguishes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// Names of the member classifiers.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Examples absorbed so far.
+    pub fn examples_seen(&self) -> u64 {
+        self.examples_seen
+    }
+
+    /// Absorbs one labelled example: the normalizer observes the raw
+    /// features first, then every member takes one incremental step on the
+    /// freshly-normalised vector.
+    pub fn partial_fit(&mut self, features: &[f64], label: usize) {
+        self.normalizer.observe(features);
+        let normalized = self.normalizer.apply(features);
+        for member in &mut self.members {
+            member.partial_fit(&normalized, label);
+        }
+        self.examples_seen += 1;
+    }
+
+    /// Every member's prediction for one feature vector (normalised once
+    /// with the current running statistics).
+    pub fn predict_members(&self, features: &[f64]) -> Vec<usize> {
+        let normalized = self.normalizer.apply(features);
+        self.members
+            .iter()
+            .map(|m| m.predict(&normalized))
+            .collect()
+    }
+
+    /// The majority vote over all members, with the batch ensemble's tie
+    /// rule (ties go to the first member, the SVM).
+    pub fn predict_majority(&self, features: &[f64]) -> usize {
+        majority_vote(&self.predict_members(features), self.classes)
+    }
+}
+
+/// One point of a prequential accuracy timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrequentialPoint {
+    /// Cumulative examples scored when the snapshot was taken.
+    pub examples: u64,
+    /// Cumulative majority-vote prequential accuracy at that point.
+    pub accuracy: f64,
+}
+
+/// Prequential counts since the last [`PrequentialEvaluator::take_segment`]
+/// call — the building block of before/after comparisons (e.g. around a
+/// mid-session defense splice).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SegmentStats {
+    /// Examples scored in the segment.
+    pub total: u64,
+    /// Majority-vote hits in the segment.
+    pub majority_correct: u64,
+    /// Per-member hits in the segment (ensemble member order).
+    pub member_correct: Vec<u64>,
+}
+
+impl SegmentStats {
+    /// Majority-vote accuracy over the segment (0 when empty).
+    pub fn majority_accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.majority_correct as f64 / self.total as f64
+        }
+    }
+
+    /// The best per-member accuracy over the segment, never below the
+    /// majority accuracy — the online counterpart of the paper's
+    /// "highest accuracy of SVM/NN" reporting.
+    pub fn best_accuracy(&self) -> f64 {
+        let best_member = self
+            .member_correct
+            .iter()
+            .map(|&c| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                }
+            })
+            .fold(0.0, f64::max);
+        best_member.max(self.majority_accuracy())
+    }
+}
+
+/// Test-then-train evaluation of an [`OnlineAdversary`].
+///
+/// Every example is scored against the model *before* the model learns from
+/// it, so the cumulative confusion matrices measure honest out-of-sample
+/// performance over the whole stream, and the [`timeline`](Self::timeline)
+/// tracks how that accuracy evolves — flat stream, convergence; mid-stream
+/// defense splice, a visible drop.
+#[derive(Debug, Clone)]
+pub struct PrequentialEvaluator {
+    adversary: OnlineAdversary,
+    majority: ConfusionMatrix,
+    member_matrices: Vec<ConfusionMatrix>,
+    timeline: Vec<PrequentialPoint>,
+    snapshot_every: u64,
+    segment: SegmentStats,
+    correct: u64,
+    scored: u64,
+}
+
+impl PrequentialEvaluator {
+    /// Wraps an adversary, snapshotting the cumulative accuracy onto the
+    /// timeline every `snapshot_every` examples (clamped to at least 1).
+    pub fn new(adversary: OnlineAdversary, snapshot_every: u64) -> Self {
+        let classes = adversary.class_count();
+        let member_count = adversary.member_names().len();
+        PrequentialEvaluator {
+            adversary,
+            majority: ConfusionMatrix::new(classes),
+            member_matrices: vec![ConfusionMatrix::new(classes); member_count],
+            timeline: Vec::new(),
+            snapshot_every: snapshot_every.max(1),
+            segment: SegmentStats {
+                member_correct: vec![0; member_count],
+                ..SegmentStats::default()
+            },
+            correct: 0,
+            scored: 0,
+        }
+    }
+
+    /// Scores one labelled example with the current model, then trains on
+    /// it. Returns the majority-vote prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range for the adversary's class count.
+    pub fn test_then_train(&mut self, features: &[f64], label: usize) -> usize {
+        let member_predictions = self.adversary.predict_members(features);
+        let predicted = majority_vote(&member_predictions, self.adversary.class_count());
+        self.majority.record(label, predicted);
+        for (matrix, &p) in self.member_matrices.iter_mut().zip(&member_predictions) {
+            matrix.record(label, p);
+        }
+        self.scored += 1;
+        self.segment.total += 1;
+        if predicted == label {
+            self.correct += 1;
+            self.segment.majority_correct += 1;
+        }
+        for (c, &p) in self
+            .segment
+            .member_correct
+            .iter_mut()
+            .zip(&member_predictions)
+        {
+            if p == label {
+                *c += 1;
+            }
+        }
+        if self.scored.is_multiple_of(self.snapshot_every) {
+            self.timeline.push(PrequentialPoint {
+                examples: self.scored,
+                accuracy: self.accuracy(),
+            });
+        }
+        self.adversary.partial_fit(features, label);
+        predicted
+    }
+
+    /// Scores and trains on one [`WindowExample`].
+    pub fn absorb(&mut self, example: &WindowExample) -> usize {
+        self.test_then_train(&example.0, example.1)
+    }
+
+    /// Examples scored so far.
+    pub fn examples(&self) -> u64 {
+        self.scored
+    }
+
+    /// Cumulative majority-vote prequential accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.scored as f64
+        }
+    }
+
+    /// The live cumulative majority-vote confusion matrix.
+    pub fn matrix(&self) -> &ConfusionMatrix {
+        &self.majority
+    }
+
+    /// Live `(member name, cumulative confusion matrix)` pairs.
+    pub fn member_matrices(&self) -> Vec<(&'static str, &ConfusionMatrix)> {
+        self.adversary
+            .member_names()
+            .into_iter()
+            .zip(self.member_matrices.iter())
+            .collect()
+    }
+
+    /// The accuracy timeline recorded so far.
+    pub fn timeline(&self) -> &[PrequentialPoint] {
+        &self.timeline
+    }
+
+    /// Returns the prequential counts accumulated since the previous call
+    /// (or since construction) and starts a fresh segment.
+    pub fn take_segment(&mut self) -> SegmentStats {
+        std::mem::replace(
+            &mut self.segment,
+            SegmentStats {
+                member_correct: vec![0; self.member_matrices.len()],
+                ..SegmentStats::default()
+            },
+        )
+    }
+
+    /// The adversary being evaluated.
+    pub fn adversary(&self) -> &OnlineAdversary {
+        &self.adversary
+    }
+
+    /// Unwraps the (now trained) adversary.
+    pub fn into_adversary(self) -> OnlineAdversary {
+        self.adversary
+    }
+}
+
+/// The packet-facing end of the online adversary: a bank of per-sub-flow
+/// windowers feeding every closed window straight into a
+/// [`PrequentialEvaluator`].
+///
+/// Wire it behind any defense stage pipeline exactly like a plain
+/// [`FlowWindowers`]: call [`push`](Self::push) per emitted `(flow, packet)`
+/// and [`finish`](Self::finish) at session end. The adversary tests and
+/// trains the moment each window closes.
+#[derive(Debug, Clone)]
+pub struct AdversarySink {
+    windowers: FlowWindowers,
+    evaluator: PrequentialEvaluator,
+}
+
+impl AdversarySink {
+    /// Couples a windower bank to a prequential evaluator.
+    pub fn new(windowers: FlowWindowers, evaluator: PrequentialEvaluator) -> Self {
+        AdversarySink {
+            windowers,
+            evaluator,
+        }
+    }
+
+    /// Folds one packet of sub-flow `flow` in; when this packet closes that
+    /// sub-flow's window, the example is scored-then-learned immediately and
+    /// the majority-vote prediction is returned.
+    pub fn push(&mut self, flow: usize, packet: &PacketRecord) -> Option<usize> {
+        self.windowers
+            .push(flow, packet)
+            .map(|example| self.evaluator.absorb(&example))
+    }
+
+    /// Closes every sub-flow's trailing window at session end, feeding the
+    /// remaining examples to the evaluator.
+    pub fn finish(&mut self) {
+        for example in self.windowers.finish() {
+            self.evaluator.absorb(&example);
+        }
+    }
+
+    /// Windows scored so far.
+    pub fn windows(&self) -> u64 {
+        self.evaluator.examples()
+    }
+
+    /// The evaluator behind the sink.
+    pub fn evaluator(&self) -> &PrequentialEvaluator {
+        &self.evaluator
+    }
+
+    /// Mutable access to the evaluator (e.g. for segment bookkeeping around
+    /// a mid-session defense splice).
+    pub fn evaluator_mut(&mut self) -> &mut PrequentialEvaluator {
+        &mut self.evaluator
+    }
+
+    /// Unwraps the evaluator (and with it the trained adversary).
+    pub fn into_evaluator(self) -> PrequentialEvaluator {
+        self.evaluator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_DIM;
+    use crate::stream::streamed_examples;
+    use crate::window::{FeatureMode, DEFAULT_MIN_PACKETS};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use traffic_gen::app::AppKind;
+    use traffic_gen::generator::SessionGenerator;
+    use wlan_sim::time::SimDuration;
+
+    fn blob_stream(seed: u64, n_per_class: usize) -> Vec<(Vec<f64>, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[0.0, 0.0, 0.0], [8.0, 0.0, 4.0], [0.0, 8.0, -4.0]];
+        let mut examples = Vec::new();
+        // Interleave classes so the stream does not arrive sorted by label.
+        for _ in 0..n_per_class {
+            for (label, c) in centers.iter().enumerate() {
+                let f: Vec<f64> = c.iter().map(|m| m + rng.gen_range(-1.0..1.0)).collect();
+                examples.push((f, label));
+            }
+        }
+        examples
+    }
+
+    #[test]
+    fn online_adversary_learns_blobs_incrementally() {
+        let mut adversary = OnlineAdversary::new(3, 3, &EnsembleConfig::default());
+        assert_eq!(adversary.class_count(), 3);
+        assert_eq!(adversary.member_names(), vec!["svm", "nn", "naive-bayes"]);
+        for (f, l) in blob_stream(1, 100) {
+            adversary.partial_fit(&f, l);
+        }
+        assert_eq!(adversary.examples_seen(), 300);
+        let test = blob_stream(2, 30);
+        let correct = test
+            .iter()
+            .filter(|(f, l)| adversary.predict_majority(f) == *l)
+            .count();
+        assert!(
+            correct as f64 / test.len() as f64 > 0.9,
+            "online accuracy {}",
+            correct as f64 / test.len() as f64
+        );
+    }
+
+    #[test]
+    fn prequential_accuracy_converges_on_a_stationary_stream() {
+        let adversary = OnlineAdversary::new(3, 3, &EnsembleConfig::default());
+        let mut evaluator = PrequentialEvaluator::new(adversary, 30);
+        for (f, l) in blob_stream(3, 120) {
+            evaluator.test_then_train(&f, l);
+        }
+        assert_eq!(evaluator.examples(), 360);
+        assert_eq!(evaluator.matrix().total(), 360);
+        // The timeline was snapshotted every 30 examples.
+        assert_eq!(evaluator.timeline().len(), 12);
+        // Later accuracy beats the cold-start prefix.
+        let first = evaluator.timeline().first().expect("non-empty").accuracy;
+        let last = evaluator.timeline().last().expect("non-empty").accuracy;
+        assert!(
+            last > first,
+            "prequential accuracy should improve: {first} -> {last}"
+        );
+        assert!(last > 0.8, "converged accuracy {last}");
+        // Member matrices cover the same stream.
+        for (name, matrix) in evaluator.member_matrices() {
+            assert_eq!(matrix.total(), 360, "{name} matrix incomplete");
+        }
+    }
+
+    #[test]
+    fn segments_split_the_stream_without_losing_counts() {
+        let adversary = OnlineAdversary::new(3, 3, &EnsembleConfig::default());
+        let mut evaluator = PrequentialEvaluator::new(adversary, 1000);
+        let stream = blob_stream(5, 60);
+        let (a, b) = stream.split_at(90);
+        for (f, l) in a {
+            evaluator.test_then_train(f, *l);
+        }
+        let first = evaluator.take_segment();
+        for (f, l) in b {
+            evaluator.test_then_train(f, *l);
+        }
+        let second = evaluator.take_segment();
+        assert_eq!(first.total, 90);
+        assert_eq!(second.total, 90);
+        assert_eq!(
+            first.majority_correct + second.majority_correct,
+            (evaluator.accuracy() * 180.0).round() as u64
+        );
+        // The warmed-up second segment is at least as accurate.
+        assert!(second.majority_accuracy() >= first.majority_accuracy());
+        assert!(second.best_accuracy() >= second.majority_accuracy());
+    }
+
+    #[test]
+    fn adversary_sink_scores_every_window_the_batch_path_produces() {
+        let window = SimDuration::from_secs(5);
+        let app = AppKind::Video;
+        let trace = SessionGenerator::new(app, 9).generate_secs(60.0);
+        let reference = streamed_examples(
+            &mut trace.stream(),
+            app,
+            window,
+            DEFAULT_MIN_PACKETS,
+            FeatureMode::Full,
+        );
+        let adversary =
+            OnlineAdversary::new(FEATURE_DIM, AppKind::COUNT, &EnsembleConfig::default());
+        let mut sink = AdversarySink::new(
+            FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app),
+            PrequentialEvaluator::new(adversary, 4),
+        );
+        let mut source = trace.stream();
+        use traffic_gen::stream::PacketSource;
+        while let Some(packet) = source.next_packet() {
+            sink.push(0, &packet);
+        }
+        sink.finish();
+        assert_eq!(sink.windows(), reference.len() as u64);
+        assert_eq!(
+            sink.evaluator().adversary().examples_seen(),
+            reference.len() as u64
+        );
+        assert!(!sink.evaluator().timeline().is_empty());
+    }
+}

@@ -5,9 +5,16 @@
 //! 18 aggregate traffic features is sufficient to reproduce the accuracy
 //! levels the paper reports for its SVM-based adversary: the application
 //! classes are nearly linearly separable in this feature space.
+//!
+//! Pegasos is inherently **online**: each update touches one example. The
+//! model therefore implements [`OnlineClassifier`] — `partial_fit` performs
+//! exactly one sub-gradient step with the internal step-count learning-rate
+//! schedule — and the batch [`train`](LinearSvm::train) entry point is a thin
+//! wrapper: `epochs` passes of `partial_fit` over a seeded shuffle of the
+//! dataset (equivalence property-tested in `tests/online_equivalence.rs`).
 
 use crate::dataset::Dataset;
-use crate::Classifier;
+use crate::{Classifier, OnlineClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,54 +41,62 @@ impl Default for SvmConfig {
     }
 }
 
-/// A trained one-vs-rest linear SVM.
+/// A one-vs-rest linear SVM (trainable incrementally).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinearSvm {
     weights: Vec<Vec<f64>>,
     biases: Vec<f64>,
+    /// Regularisation strength λ of the Pegasos schedule.
+    lambda: f64,
+    /// Base learning rate of the Pegasos schedule.
+    learning_rate: f64,
+    /// SGD steps taken so far (drives the decaying learning rate).
+    step: u64,
 }
 
 impl LinearSvm {
-    /// Trains the SVM on a dataset.
+    /// Creates an untrained SVM for `dim`-dimensional features over `classes`
+    /// classes. Absorb examples with
+    /// [`partial_fit`](OnlineClassifier::partial_fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(dim: usize, classes: usize, config: &SvmConfig) -> Self {
+        assert!(classes > 0, "an SVM needs at least one class");
+        LinearSvm {
+            weights: vec![vec![0.0; dim]; classes],
+            biases: vec![0.0; classes],
+            lambda: config.lambda,
+            learning_rate: config.learning_rate,
+            step: 0,
+        }
+    }
+
+    /// Trains the SVM on a dataset — a thin wrapper over
+    /// [`new`](Self::new) plus `config.epochs` passes of
+    /// [`partial_fit`](OnlineClassifier::partial_fit), each pass visiting the
+    /// examples in a fresh `SliceRandom::shuffle` order drawn from
+    /// `StdRng::seed_from_u64(seed)` (the contract the equivalence proptest
+    /// in `tests/online_equivalence.rs` enforces).
     ///
     /// # Panics
     ///
     /// Panics if the dataset is empty.
     pub fn train(data: &Dataset, config: &SvmConfig, seed: u64) -> Self {
         assert!(!data.is_empty(), "cannot train an SVM on an empty dataset");
-        let classes = data.class_count();
-        let dim = data.dim();
+        let mut svm = LinearSvm::new(data.dim(), data.class_count(), config);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut weights = vec![vec![0.0; dim]; classes];
-        let mut biases = vec![0.0; classes];
-
         let mut order: Vec<usize> = (0..data.len()).collect();
         let examples = data.examples();
-        let mut step: u64 = 0;
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for &idx in &order {
-                step += 1;
-                let eta = config.learning_rate / (1.0 + config.lambda * step as f64);
                 let ex = &examples[idx];
-                for c in 0..classes {
-                    let y = if ex.label == c { 1.0 } else { -1.0 };
-                    let w = &mut weights[c];
-                    let margin = y * (dot(w, &ex.features) + biases[c]);
-                    // L2 shrinkage.
-                    for wi in w.iter_mut() {
-                        *wi *= 1.0 - eta * config.lambda;
-                    }
-                    if margin < 1.0 {
-                        for (wi, xi) in w.iter_mut().zip(&ex.features) {
-                            *wi += eta * y * xi;
-                        }
-                        biases[c] += eta * y;
-                    }
-                }
+                svm.partial_fit(&ex.features, ex.label);
             }
         }
-        LinearSvm { weights, biases }
+        svm
     }
 
     /// Per-class decision values for a feature vector.
@@ -111,6 +126,36 @@ impl Classifier for LinearSvm {
 
     fn name(&self) -> &'static str {
         "svm"
+    }
+}
+
+impl OnlineClassifier for LinearSvm {
+    fn partial_fit(&mut self, features: &[f64], label: usize) {
+        self.step += 1;
+        let eta = self.learning_rate / (1.0 + self.lambda * self.step as f64);
+        for c in 0..self.weights.len() {
+            let y = if label == c { 1.0 } else { -1.0 };
+            let w = &mut self.weights[c];
+            let margin = y * (dot(w, features) + self.biases[c]);
+            // L2 shrinkage.
+            for wi in w.iter_mut() {
+                *wi *= 1.0 - eta * self.lambda;
+            }
+            if margin < 1.0 {
+                for (wi, xi) in w.iter_mut().zip(features) {
+                    *wi += eta * y * xi;
+                }
+                self.biases[c] += eta * y;
+            }
+        }
+    }
+
+    fn examples_seen(&self) -> u64 {
+        self.step
+    }
+
+    fn clone_online(&self) -> Box<dyn OnlineClassifier> {
+        Box::new(self.clone())
     }
 }
 
@@ -202,5 +247,30 @@ mod tests {
     fn argmax_picks_first_maximum() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
         assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn partial_fit_learns_without_a_materialised_dataset() {
+        let data = separable_dataset(3, 40, 5);
+        let mut svm = LinearSvm::new(data.dim(), data.class_count(), &SvmConfig::default());
+        assert_eq!(svm.examples_seen(), 0);
+        for _ in 0..10 {
+            for e in data.examples() {
+                svm.partial_fit(&e.features, e.label);
+            }
+        }
+        assert_eq!(svm.examples_seen(), 10 * data.len() as u64);
+        let correct = svm
+            .predict_dataset(&data)
+            .iter()
+            .filter(|(t, p)| t == p)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.9);
+        // The boxed clone is the same model.
+        let boxed = svm.clone_online();
+        assert_eq!(
+            boxed.predict(&data.examples()[0].features),
+            svm.predict(&data.examples()[0].features)
+        );
     }
 }

@@ -1,0 +1,136 @@
+//! Batch == online equivalence for the adversary's trainers, mirroring the
+//! stage-equivalence suites of the defenses: every batch `train` entry point
+//! must be a thin wrapper over epochs of `partial_fit`.
+//!
+//! * `GaussianNaiveBayes::train` is one `partial_fit` pass in dataset order —
+//!   the resulting sufficient statistics are **identical**, and replaying
+//!   extra epochs never changes a prediction (statistics scale uniformly).
+//! * `LinearSvm::train(data, config, seed)` is `new` + `config.epochs`
+//!   passes of `partial_fit`, each pass visiting a fresh
+//!   `SliceRandom::shuffle` order drawn from `StdRng::seed_from_u64(seed)` —
+//!   replaying that contract externally reproduces the trained model
+//!   **bit for bit**.
+//! * `Normalizer::fit` is a `RunningNormalizer` absorbing the dataset once
+//!   and snapshotting.
+
+use classifier::bayes::GaussianNaiveBayes;
+use classifier::dataset::{Dataset, Normalizer, RunningNormalizer};
+use classifier::svm::{LinearSvm, SvmConfig};
+use classifier::{Classifier, OnlineClassifier};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A random labelled dataset with `classes` loosely-separated clusters.
+fn random_dataset(seed: u64, classes: usize, per_class: usize, dim: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new(dim);
+    for c in 0..classes {
+        for _ in 0..per_class {
+            let features: Vec<f64> = (0..dim)
+                .map(|f| {
+                    let center = if f == c % dim {
+                        6.0 * (c as f64 + 1.0)
+                    } else {
+                        0.0
+                    };
+                    center + rng.gen_range(-2.0..2.0)
+                })
+                .collect();
+            data.push(features, c);
+        }
+    }
+    data
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bayes_batch_train_is_one_partial_fit_pass(
+        seed in 0u64..500,
+        classes in 2usize..5,
+        per_class in 5usize..40,
+        dim in 1usize..6,
+    ) {
+        let data = random_dataset(seed, classes, per_class, dim);
+        let batch = GaussianNaiveBayes::train(&data);
+        let mut online = GaussianNaiveBayes::new(data.dim(), data.class_count());
+        for e in data.examples() {
+            online.partial_fit(&e.features, e.label);
+        }
+        // The sufficient statistics are identical, not merely close.
+        prop_assert_eq!(&batch, &online);
+        prop_assert_eq!(online.examples_seen(), data.len() as u64);
+    }
+
+    #[test]
+    fn bayes_predictions_survive_extra_epochs(
+        seed in 0u64..500,
+        epochs in 2usize..5,
+    ) {
+        let data = random_dataset(seed, 3, 25, 4);
+        let one_epoch = GaussianNaiveBayes::train(&data);
+        let mut multi = GaussianNaiveBayes::new(data.dim(), data.class_count());
+        for _ in 0..epochs {
+            for e in data.examples() {
+                multi.partial_fit(&e.features, e.label);
+            }
+        }
+        for e in data.examples() {
+            prop_assert_eq!(one_epoch.predict(&e.features), multi.predict(&e.features));
+        }
+    }
+
+    #[test]
+    fn svm_batch_train_is_seeded_epochs_of_partial_fit(
+        data_seed in 0u64..500,
+        train_seed in 0u64..500,
+        classes in 2usize..4,
+        per_class in 5usize..25,
+        epochs in 1usize..8,
+    ) {
+        let data = random_dataset(data_seed, classes, per_class, 3);
+        let config = SvmConfig { epochs, ..SvmConfig::default() };
+        let batch = LinearSvm::train(&data, &config, train_seed);
+
+        // Replay the documented contract of `train`: the same seeded shuffle
+        // per epoch, one `partial_fit` step per visited example.
+        let mut online = LinearSvm::new(data.dim(), data.class_count(), &config);
+        let mut rng = StdRng::seed_from_u64(train_seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let examples = data.examples();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                online.partial_fit(&examples[idx].features, examples[idx].label);
+            }
+        }
+        // Bit-for-bit: same update sequence, same floating-point operations.
+        prop_assert_eq!(&batch, &online);
+        prop_assert_eq!(online.examples_seen(), (config.epochs * data.len()) as u64);
+    }
+
+    #[test]
+    fn normalizer_fit_is_a_running_snapshot(
+        seed in 0u64..500,
+        rows in 1usize..60,
+        dim in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new(dim);
+        for _ in 0..rows {
+            let features: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            data.push(features, 0);
+        }
+        let batch = Normalizer::fit(&data);
+        let mut running = RunningNormalizer::new(dim);
+        for e in data.examples() {
+            running.observe(&e.features);
+        }
+        prop_assert_eq!(&running.snapshot(), &batch);
+        let probe: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1e3..1e3)).collect();
+        prop_assert_eq!(running.apply(&probe), batch.apply(&probe));
+    }
+}

@@ -28,7 +28,16 @@
 //! Both paths resolve a packet's virtual MAC through the installed
 //! [`TranslationTable`], exactly as the paper's data path does, and produce
 //! byte-identical frames for the same packets, algorithm and seed.
+//!
+//! On the receive side the loop closes at the sniffer: [`captures_to_trace`]
+//! reassembles a materialised per-device trace for the batch adversary, and
+//! [`captures_into_sink`] feeds the same frames straight into a live
+//! [`AdversarySink`] — the streaming adversary windows, scores and learns as
+//! frames are captured, so the whole
+//! generator → defense → air → sniffer → classifier chain runs without one
+//! materialised trace.
 
+use crate::analysis::online::AdversarySink;
 use crate::defense::stage::StagePipeline;
 use crate::reshape::online::OnlineReshaper;
 use crate::reshape::reshaper::Reshaper;
@@ -231,6 +240,55 @@ where
     captured
 }
 
+/// Feeds sniffer captures for one observed device straight into a live
+/// [`AdversarySink`]: every data frame involving `device` is converted back
+/// into a packet record (the adversary's per-"user" flow reassembly) and
+/// pushed into the sink's windowers, so the online adversary tests-then-trains
+/// the moment each eavesdropping window closes — the paper's live
+/// eavesdropper, end to end on sniffed frames instead of materialised traces.
+///
+/// All of a device's frames form one sub-flow (the sniffer already separates
+/// devices by address; feed each virtual MAC its own sink to mirror the
+/// per-interface view). `label` is the ground-truth application used for
+/// scoring; a real adversary obviously does not know it. Returns the number
+/// of frames absorbed. The caller finishes the sink at end of capture
+/// (`sink.finish()`).
+pub fn captures_into_sink(
+    captures: &[CapturedFrame],
+    device: MacAddress,
+    label: AppKind,
+    sink: &mut AdversarySink,
+) -> usize {
+    let mut absorbed = 0;
+    for packet in device_packets(captures, device, label) {
+        sink.push(0, &packet);
+        absorbed += 1;
+    }
+    absorbed
+}
+
+/// The shared receive-side reassembly rule: the data frames captured for
+/// `device`, as packet records whose direction is relative to the device.
+/// Both [`captures_to_trace`] and [`captures_into_sink`] are built on this,
+/// so the batch and live receive paths can never diverge.
+fn device_packets(
+    captures: &[CapturedFrame],
+    device: MacAddress,
+    label: AppKind,
+) -> impl Iterator<Item = PacketRecord> + '_ {
+    captures
+        .iter()
+        .filter(move |c| c.is_data && (c.src == device || c.dst == device))
+        .map(move |c| {
+            let direction = if c.dst == device {
+                Direction::Downlink
+            } else {
+                Direction::Uplink
+            };
+            PacketRecord::new(c.time, c.size, direction, label)
+        })
+}
+
 /// Converts sniffer captures back into a labelled trace for one observed
 /// device address (the adversary's per-"user" flow reassembly).
 ///
@@ -241,23 +299,7 @@ pub fn captures_to_trace(
     device: MacAddress,
     label: Option<AppKind>,
 ) -> Trace {
-    let packets = captures
-        .iter()
-        .filter(|c| c.is_data && (c.src == device || c.dst == device))
-        .map(|c| {
-            let direction = if c.dst == device {
-                Direction::Downlink
-            } else {
-                Direction::Uplink
-            };
-            PacketRecord::new(
-                c.time,
-                c.size,
-                direction,
-                label.unwrap_or(AppKind::Browsing),
-            )
-        })
-        .collect();
+    let packets = device_packets(captures, device, label.unwrap_or(AppKind::Browsing)).collect();
     let mut trace = Trace::from_packets(label, packets);
     if label.is_none() {
         trace.set_app(None);
@@ -477,6 +519,71 @@ mod tests {
             recovered += captures_to_trace(sniffer.captures(), mac, None).len();
         }
         assert_eq!(recovered as u64, online.packets_seen());
+    }
+
+    #[test]
+    fn captures_feed_the_live_adversary_sink() {
+        // Sniffed frames → AdversarySink: the live adversary must score
+        // exactly the windows the batch reassembly (captures_to_trace →
+        // streamed windowing) produces for the same device.
+        use crate::analysis::ensemble::EnsembleConfig;
+        use crate::analysis::features::FEATURE_DIM;
+        use crate::analysis::online::{OnlineAdversary, PrequentialEvaluator};
+        use crate::analysis::stream::{streamed_examples, FlowWindowers};
+        use crate::analysis::window::{FeatureMode, DEFAULT_MIN_PACKETS};
+        use crate::wlan::channel::PathLossModel;
+        use crate::wlan::time::SimDuration;
+
+        let table = TranslationTable::new(); // physical address on the air
+        let mut online =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let session = StreamingSession::bounded(AppKind::Video, 33, 45.0);
+        let frames = stream_frames(session, &mut online, &table, station(), ap());
+
+        let medium = Medium::new(PathLossModel::deterministic(40.0, 2.0), -96.0);
+        let mut sniffer = Sniffer::new(Position::new(4.0, 4.0), ap(), Channel::CH6);
+        let mut rng = StdRng::seed_from_u64(7);
+        inject_frames(
+            frames,
+            &mut sniffer,
+            ap(),
+            (Position::new(0.0, 0.0), 20.0),
+            (Position::new(3.0, 0.0), 15.0),
+            Channel::CH6,
+            &medium,
+            &mut rng,
+        );
+
+        let window = SimDuration::from_secs(5);
+        let adversary =
+            OnlineAdversary::new(FEATURE_DIM, AppKind::COUNT, &EnsembleConfig::default());
+        let mut sink = AdversarySink::new(
+            FlowWindowers::for_app(
+                window,
+                DEFAULT_MIN_PACKETS,
+                FeatureMode::Full,
+                AppKind::Video,
+            ),
+            PrequentialEvaluator::new(adversary, 5),
+        );
+        let absorbed = captures_into_sink(sniffer.captures(), station(), AppKind::Video, &mut sink);
+        sink.finish();
+
+        let reassembled = captures_to_trace(sniffer.captures(), station(), Some(AppKind::Video));
+        assert_eq!(absorbed, reassembled.len());
+        assert!(absorbed > 0, "the sniffer captured nothing");
+        let reference = streamed_examples(
+            &mut reassembled.stream(),
+            AppKind::Video,
+            window,
+            DEFAULT_MIN_PACKETS,
+            FeatureMode::Full,
+        );
+        assert_eq!(sink.windows(), reference.len() as u64);
+        assert_eq!(
+            sink.evaluator().adversary().examples_seen(),
+            reference.len() as u64
+        );
     }
 
     #[test]
