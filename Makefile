@@ -1,6 +1,6 @@
 # Local targets mirroring the CI jobs so local and CI runs are identical.
 
-.PHONY: verify build test fmt lint bench-compile bench-json examples ci
+.PHONY: verify build test fmt lint bench-compile bench-json scenario-check scenario-json examples ci
 
 # The tier-1 gate: exactly what the driver and the CI `test` job run.
 verify:
@@ -26,8 +26,19 @@ bench-compile:
 bench-json:
 	cargo run --release -p bench --bin bench_json BENCH_pipeline.json
 
+# Validates every committed scenario spec (parse + compile). CI gates on it,
+# so a malformed spec under scenarios/ fails the build. Debug profile: the
+# check is parse-and-validate only, and the CI test job builds debug anyway.
+scenario-check:
+	cargo run -p bench --bin scenario_run -- --check scenarios
+
+# Runs every committed scenario and writes per-scenario JSON reports to
+# scenario-results/ (uploaded as CI artifacts next to BENCH_pipeline.json).
+scenario-json:
+	cargo run --release -p bench --bin scenario_run -- --out scenario-results scenarios
+
 examples:
 	cargo build --examples
 
 # Everything CI gates on, in one shot.
-ci: fmt lint verify test bench-compile examples
+ci: fmt lint verify test scenario-check bench-compile examples

@@ -22,22 +22,31 @@
 //! recorded PR over PR. Wired into CI as a non-blocking step via
 //! `make bench-json` (the JSON is uploaded as a CI artifact).
 //!
+//! Since the scenario-engine refactor the **workloads are data**: the
+//! defended pipelines and adversary configuration come from the committed
+//! `scenarios/throughput_baseline.toml` (built through `ScenarioSpec::build`,
+//! equivalence-tested against the historical hard-coded constructions in
+//! `tests/scenario_equivalence.rs`), and the baseline additionally records
+//! the deterministic results of the committed scenario families
+//! (`scenarios/mixed_population.toml`, `station_churn.toml`,
+//! `staged_defense.toml`) so new workload families land in the same
+//! trajectory file.
+//!
 //! [`StagePipeline`]: defenses::stage::StagePipeline
 
 use bench::pipeline::{
-    defense_pipeline, evaluate_defense, evaluate_defense_online, online_adversary, train_adversary,
+    evaluate_defense, evaluate_defense_online, online_adversary, train_adversary,
     train_adversary_online, DefenseKind,
 };
-use bench::ExperimentConfig;
+use bench::scenario::{default_scenarios_dir, load_spec, run_scenario, Scenario};
 use classifier::online::{OnlineAdversary, PrequentialEvaluator};
 use classifier::stream::{FlowWindowers, StreamingWindower};
 use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
+use defenses::spec::StageContext;
 use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
 use reshape_core::scheduler::OrthogonalRanges;
-use traffic_gen::app::AppKind;
-use traffic_gen::generator::SessionGenerator;
 use traffic_gen::stream::PacketSource;
 use traffic_gen::trace::Trace;
 use wlan_sim::time::SimDuration;
@@ -198,35 +207,61 @@ fn adversary_predict_evaluate(
     trace.len()
 }
 
+/// Loads and compiles one committed scenario spec, or dies with its error.
+fn committed_scenario(file: &str) -> Scenario {
+    let path = default_scenarios_dir().join(file);
+    load_spec(&path)
+        .and_then(|spec| spec.build())
+        .unwrap_or_else(|e| panic!("committed scenario {file} must build: {e}"))
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-    // The same workload as the `core_throughput` criterion bench.
-    let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(60.0);
-    let window = SimDuration::from_secs(5);
+    // The workload is data: the committed throughput-baseline spec defines
+    // the trace (BitTorrent, seed 1, 60 s — the `core_throughput` workload),
+    // the window, and one station per defended pipeline to measure.
+    let baseline = committed_scenario("throughput_baseline.toml");
+    let station = &baseline.stations[0];
+    let trace = station.traffic.trace();
+    let window = baseline.window;
 
     let (reshape_batch_pps, packets) = measure(|| batch_reshape(&trace));
     let (reshape_streaming_pps, _) = measure(|| streaming_reshape(&trace));
     let (eval_batch_pps, _) = measure(|| batch_evaluate(&trace, window));
     let (eval_streaming_pps, _) = measure(|| streaming_evaluate(&trace, window));
 
-    // Defended streaming throughput: stage pipelines built once, reset per
-    // iteration, covering a transforming stage, a CDF-mapping stage and the
-    // composed defense∘reshape scenario end to end.
-    let app = trace.app().expect("bench trace is labelled");
-    let defended = |defense: DefenseKind| {
-        let mut pipeline = defense_pipeline(defense, app, 3, 1, 60.0, Some(&trace));
-        let (pps, _) = measure(|| defended_streaming_evaluate(&trace, window, &mut pipeline));
+    // Defended streaming throughput: the spec'd stations' pipelines, built
+    // once through the scenario engine (source CDF from that station's own
+    // materialised trace, like the batch wrapper), reset per iteration. The
+    // committed spec gives every station the same traffic, so each station
+    // trace equals the reshape workload trace — but the measurement honours
+    // whatever the spec says.
+    let defended = |index: usize| {
+        let station = &baseline.stations[index];
+        let station_trace = station.traffic.trace();
+        let ctx = StageContext {
+            app: station.traffic.app,
+            seed: station.traffic.seed,
+            calib_secs: baseline.calib_secs,
+            source: Some(&station_trace),
+        };
+        let mut pipeline = station
+            .defense
+            .build(&ctx, station.interfaces)
+            .expect("validated at build time");
+        let (pps, _) =
+            measure(|| defended_streaming_evaluate(&station_trace, window, &mut pipeline));
         (pps, pipeline.overhead().percent())
     };
-    let (defended_padding_pps, padding_overhead_pct) = defended(DefenseKind::Padding);
-    let (defended_morphing_pps, morphing_overhead_pct) = defended(DefenseKind::Morphing);
-    let (defended_morph_or_pps, morph_or_overhead_pct) = defended(DefenseKind::MorphThenReshape);
+    let (defended_padding_pps, padding_overhead_pct) = defended(0);
+    let (defended_morphing_pps, morphing_overhead_pct) = defended(1);
+    let (defended_morph_or_pps, morph_or_overhead_pct) = defended(2);
 
     // Live-adversary throughput: windowing + test-then-train (train) and
     // windowing + frozen majority vote (predict) over the same workload.
-    let config = ExperimentConfig::quick();
+    let config = baseline.adversary.train;
     let untrained = online_adversary(&config);
     let (adversary_train_pps, _) = measure(|| adversary_train_evaluate(&trace, window, &untrained));
     // One prequential warm-up pass serves both the predict measurement and
@@ -260,13 +295,37 @@ fn main() {
         .mean_accuracy();
         (batch, online)
     };
-    let (batch_acc_padding, online_acc_padding) = accuracy_pair(DefenseKind::Padding);
-    let (batch_acc_morph_or, online_acc_morph_or) = accuracy_pair(DefenseKind::MorphThenReshape);
+    let kind_of = |index: usize| -> DefenseKind {
+        baseline.stations[index]
+            .defense
+            .as_kind()
+            .expect("baseline stations use shorthand kinds")
+    };
+    let (batch_acc_padding, online_acc_padding) = accuracy_pair(kind_of(0));
+    let (batch_acc_morph_or, online_acc_morph_or) = accuracy_pair(kind_of(2));
+
+    // The committed scenario families: deterministic per seed, so their
+    // results belong in the trajectory file next to the throughput numbers.
+    let families = ["mixed_population", "station_churn", "staged_defense"];
+    let mut scenario_json = String::new();
+    for family in families {
+        let scenario = committed_scenario(&format!("{family}.toml"));
+        let report = run_scenario(&scenario)
+            .unwrap_or_else(|e| panic!("committed scenario {family} must run: {e}"));
+        scenario_json.push_str(&format!(
+            ",\n  \"scenario_{family}_stations\": {},\n  \"scenario_{family}_packets\": {},\n  \"scenario_{family}_windows\": {},\n  \"scenario_{family}_identification\": {:.3},\n  \"scenario_{family}_mean_overhead_pct\": {:.2}",
+            report.stations,
+            report.packets,
+            report.windows,
+            report.identification_rate,
+            report.mean_overhead_pct
+        ));
+    }
 
     let reshape_speedup = reshape_streaming_pps / reshape_batch_pps;
     let eval_speedup = eval_streaming_pps / eval_batch_pps;
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"BitTorrent 60s, OR over 3 vifs, W=5s\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}\n}}\n"
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json}\n}}\n"
     );
     std::fs::write(&output, &json).expect("write baseline json");
     println!("{json}");

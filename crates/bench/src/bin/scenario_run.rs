@@ -1,0 +1,119 @@
+//! Runs (or validates) declarative scenario specs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scenario_run -- [--check] [--out DIR] [PATH ...]
+//! ```
+//!
+//! Each `PATH` is a spec file or a directory of `*.toml` specs; the committed
+//! `scenarios/` directory is the default. Every spec is parsed and compiled
+//! through `ScenarioSpec::build()`; with `--check` that is all (CI gates on
+//! it, so a malformed committed spec fails the build), otherwise each
+//! scenario runs on the work-stealing pool and its report is written to
+//! `DIR/<name>.json` (default `scenario-results/`).
+
+use bench::scenario::{default_scenarios_dir, load_spec, run_scenario, spec_files};
+use std::path::PathBuf;
+
+fn main() {
+    let mut check_only = false;
+    let mut out_dir = PathBuf::from("scenario-results");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => fail("--out needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!("usage: scenario_run [--check] [--out DIR] [PATH ...]");
+                return;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(default_scenarios_dir());
+    }
+
+    let mut files = Vec::new();
+    for path in &paths {
+        match spec_files(path) {
+            Ok(found) => files.extend(found),
+            Err(e) => fail(&e),
+        }
+    }
+    if files.is_empty() {
+        fail("no scenario spec files found");
+    }
+
+    let mut failures = 0usize;
+    let mut seen_names: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for file in &files {
+        let outcome = load_spec(file).and_then(|spec| spec.build().map(|s| (spec, s)));
+        let (spec, scenario) = match outcome {
+            Ok(built) => built,
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        // Names key the per-scenario report files; a duplicate would silently
+        // overwrite another scenario's JSON.
+        if !seen_names.insert(scenario.name.clone()) {
+            eprintln!(
+                "FAIL {}: duplicate scenario name `{}`",
+                file.display(),
+                scenario.name
+            );
+            failures += 1;
+            continue;
+        }
+        if check_only {
+            println!(
+                "ok {} ({} stations, {} events)",
+                scenario.name,
+                scenario.stations.len(),
+                spec.events.len()
+            );
+            continue;
+        }
+        match run_scenario(&scenario) {
+            Ok(report) => {
+                let json = serde_json::to_string(&report).expect("reports always serialize");
+                if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                    fail(&format!("{}: cannot create: {e}", out_dir.display()));
+                }
+                let out_path = out_dir.join(format!("{}.json", report.scenario));
+                if let Err(e) = std::fs::write(&out_path, &json) {
+                    fail(&format!("{}: cannot write: {e}", out_path.display()));
+                }
+                println!(
+                    "ran {}: {} stations, {} packets, {} windows, identification {:.3}, \
+                     mean overhead {:.2}% -> {}",
+                    report.scenario,
+                    report.stations,
+                    report.packets,
+                    report.windows,
+                    report.identification_rate,
+                    report.mean_overhead_pct,
+                    out_path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", scenario.name);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        fail(&format!("{failures} scenario(s) failed"));
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scenario_run: {msg}");
+    std::process::exit(1);
+}

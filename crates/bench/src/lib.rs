@@ -33,9 +33,11 @@ pub mod figures;
 pub mod pipeline;
 pub mod power;
 pub mod report;
+pub mod scenario;
 pub mod streaming;
 pub mod tables;
 
 pub use corpus::ExperimentConfig;
 pub use pipeline::DefenseKind;
+pub use scenario::{run_scenario, DefenseSpec, Scenario, ScenarioReport, ScenarioSpec};
 pub use streaming::{StationReport, StationSpec};

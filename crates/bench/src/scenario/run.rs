@@ -1,0 +1,288 @@
+//! Executes compiled scenarios on the work-stealing pool and reports results.
+//!
+//! [`run_scenario`] is the one spec-driven runner: it trains the adversary
+//! the spec asks for (frozen batch ensemble, or a warm-started online
+//! adversary forked per station), then streams every station — with its
+//! defense schedule, arrival/departure churn and splices — through
+//! [`stream_station_scheduled`] on the bounded work-stealing pool. The
+//! returned [`ScenarioReport`] serializes straight to JSON through the serde
+//! shim, which is what `scenario_run` writes per scenario and `bench_json`
+//! embeds in the committed baseline.
+
+use crate::pipeline::{train_adversary, train_adversary_online};
+use crate::scenario::spec::{AdversaryMode, Scenario, ScenarioStation, SCENARIO_FEATURE_MODE};
+use crate::streaming::{pooled, FrozenScorer, ScheduledReport, WindowScorer};
+use classifier::online::PrequentialEvaluator;
+use serde::Serialize;
+use traffic_gen::app::AppKind;
+
+/// One phase of one station, as reported (and serialized).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseOutcome {
+    /// Session-relative second the phase's defense took over.
+    pub from_secs: f64,
+    /// The defense's label (`"padding"`, `"morphing+or"`, …).
+    pub defense: String,
+    /// Windows the adversary scored during the phase.
+    pub windows: u64,
+    /// Windows identified correctly during the phase.
+    pub windows_identified: u64,
+    /// The phase pipeline's byte overhead, as a percentage.
+    pub overhead_pct: f64,
+}
+
+/// One station's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StationOutcome {
+    /// The station's ground-truth application.
+    pub app: AppKind,
+    /// The station's traffic seed.
+    pub seed: u64,
+    /// Wall-clock second the station arrived.
+    pub arrival_secs: f64,
+    /// The station's effective session length (clipped by departure).
+    pub session_secs: f64,
+    /// Packets the station streamed.
+    pub packets: u64,
+    /// Windows scored across all phases.
+    pub windows: u64,
+    /// Windows identified correctly across all phases.
+    pub windows_identified: u64,
+    /// The adversary's per-station recognition rate.
+    pub identification_rate: f64,
+    /// The station's end-to-end byte overhead, as a percentage.
+    pub overhead_pct: f64,
+    /// Per-phase breakdown, in schedule order.
+    pub phases: Vec<PhaseOutcome>,
+}
+
+/// The result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// `"batch"` or `"online"`.
+    pub adversary_mode: String,
+    /// Station count.
+    pub stations: usize,
+    /// Packets streamed across all stations.
+    pub packets: u64,
+    /// Windows scored across all stations.
+    pub windows: u64,
+    /// Windows identified correctly across all stations.
+    pub windows_identified: u64,
+    /// The adversary's overall recognition rate (the paper's metric, over
+    /// the whole population).
+    pub identification_rate: f64,
+    /// Mean of per-station overhead percentages (Table VI's convention).
+    pub mean_overhead_pct: f64,
+    /// Per-station outcomes, in population order.
+    pub station_reports: Vec<StationOutcome>,
+}
+
+/// Runs a compiled scenario: trains the spec'd adversary once, then streams
+/// every station concurrently on the work-stealing pool. Station outcomes are
+/// deterministic per seed regardless of which worker steals which station
+/// (stations are independent; the shared adversary is only read, online
+/// stations fork their own copy).
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let mode = SCENARIO_FEATURE_MODE;
+    let outcomes: Vec<Result<StationOutcome, String>> = match scenario.adversary.mode {
+        AdversaryMode::Batch => {
+            let adversary = train_adversary(&scenario.adversary.train, mode);
+            pooled(scenario.stations.len(), |i| {
+                let mut scorer = FrozenScorer(&adversary);
+                run_station(scenario, &scenario.stations[i], &mut scorer)
+            })
+        }
+        AdversaryMode::Online => {
+            let warm = train_adversary_online(&scenario.adversary.train, mode).into_adversary();
+            pooled(scenario.stations.len(), |i| {
+                let mut evaluator =
+                    PrequentialEvaluator::new(warm.clone(), scenario.adversary.snapshot_every);
+                run_station(scenario, &scenario.stations[i], &mut evaluator)
+            })
+        }
+    };
+    let station_reports = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let packets = station_reports.iter().map(|s| s.packets).sum();
+    let windows: u64 = station_reports.iter().map(|s| s.windows).sum();
+    let windows_identified: u64 = station_reports.iter().map(|s| s.windows_identified).sum();
+    // Mean of per-station percentages, Table VI's convention.
+    let mean_overhead_pct = if station_reports.is_empty() {
+        0.0
+    } else {
+        station_reports.iter().map(|s| s.overhead_pct).sum::<f64>() / station_reports.len() as f64
+    };
+    Ok(ScenarioReport {
+        scenario: scenario.name.clone(),
+        adversary_mode: match scenario.adversary.mode {
+            AdversaryMode::Batch => "batch".to_string(),
+            AdversaryMode::Online => "online".to_string(),
+        },
+        stations: scenario.stations.len(),
+        packets,
+        windows,
+        windows_identified,
+        identification_rate: if windows == 0 {
+            0.0
+        } else {
+            windows_identified as f64 / windows as f64
+        },
+        mean_overhead_pct,
+        station_reports,
+    })
+}
+
+/// Streams one station through its compiled schedule.
+fn run_station(
+    scenario: &Scenario,
+    station: &ScenarioStation,
+    scorer: &mut dyn WindowScorer,
+) -> Result<StationOutcome, String> {
+    let pipelines = station.build_pipelines(scenario.calib_secs)?;
+    let mut labels: Vec<String> = vec![station.defense.label()];
+    labels.extend(station.splices.iter().map(|(_, d)| d.label()));
+    let mut session = station.traffic.build();
+    let report = crate::streaming::stream_station_scheduled(
+        &mut session,
+        station.traffic.app,
+        pipelines,
+        scenario.window,
+        SCENARIO_FEATURE_MODE,
+        scorer,
+    );
+    Ok(station_outcome(station, &labels, &report))
+}
+
+/// Folds a [`ScheduledReport`] into the serializable outcome.
+fn station_outcome(
+    station: &ScenarioStation,
+    labels: &[String],
+    report: &ScheduledReport,
+) -> StationOutcome {
+    let phases = report
+        .phases
+        .iter()
+        .zip(labels)
+        .map(|(phase, label)| PhaseOutcome {
+            from_secs: phase.from_secs,
+            defense: label.clone(),
+            windows: phase.windows,
+            windows_identified: phase.windows_identified,
+            overhead_pct: phase.overhead.percent(),
+        })
+        .collect();
+    StationOutcome {
+        app: station.traffic.app,
+        seed: station.traffic.seed,
+        arrival_secs: station.arrival_secs,
+        session_secs: station.session_secs(),
+        packets: report.packets,
+        windows: report.windows(),
+        windows_identified: report.windows_identified(),
+        identification_rate: report.identification_rate(),
+        overhead_pct: report.overhead().percent(),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DefenseKind;
+    use crate::scenario::spec::{
+        AdversarySpec, DefenseSpec, EventKind, EventSpec, ScenarioSpec, StationGroupSpec,
+    };
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit".to_string(),
+            seed: 5,
+            window_secs: 5.0,
+            calib_secs: 30.0,
+            interfaces: 3,
+            stations: vec![
+                StationGroupSpec {
+                    app: AppKind::BitTorrent,
+                    count: 2,
+                    seed: Some(700),
+                    secs: 30.0,
+                    interfaces: None,
+                    defense: DefenseSpec::from_kind(DefenseKind::Orthogonal),
+                },
+                StationGroupSpec {
+                    app: AppKind::Video,
+                    count: 1,
+                    seed: Some(800),
+                    secs: 30.0,
+                    interfaces: None,
+                    defense: DefenseSpec::none(),
+                },
+            ],
+            adversary: AdversarySpec::default(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_on_the_pool() {
+        let scenario = small_spec().build().expect("valid spec");
+        let first = run_scenario(&scenario).expect("runs");
+        let second = run_scenario(&scenario).expect("runs");
+        assert_eq!(first, second, "pool scheduling must not leak into results");
+        assert_eq!(first.stations, 3);
+        assert!(first.packets > 1000);
+        assert!(first.windows > 0);
+        // The undefended Video station is the easy one; OR-defended BT should
+        // not be easier to identify than it.
+        let video = &first.station_reports[2];
+        assert_eq!(video.app, AppKind::Video);
+        for bt in &first.station_reports[..2] {
+            assert!(bt.identification_rate <= video.identification_rate + 1e-9);
+        }
+    }
+
+    #[test]
+    fn departed_stations_stream_less_than_their_peers() {
+        let mut spec = small_spec();
+        spec.events = vec![EventSpec {
+            at_secs: 10.0,
+            station: Some(1),
+            kind: EventKind::Depart,
+        }];
+        let report = run_scenario(&spec.build().expect("valid")).expect("runs");
+        let [full, departed, _] = &report.station_reports[..] else {
+            panic!("expected 3 stations");
+        };
+        assert_eq!(departed.session_secs, 10.0);
+        assert!(
+            departed.packets < full.packets / 2,
+            "a station departing at 10 s of 30 s must stream far less \
+             ({} vs {})",
+            departed.packets,
+            full.packets
+        );
+    }
+
+    #[test]
+    fn online_scenarios_report_per_phase_prequential_counts() {
+        let mut spec = small_spec();
+        spec.adversary.mode = crate::scenario::spec::AdversaryMode::Online;
+        spec.events = vec![EventSpec {
+            at_secs: 15.0,
+            station: None,
+            kind: EventKind::Splice(DefenseSpec::from_kind(DefenseKind::Padding)),
+        }];
+        let report = run_scenario(&spec.build().expect("valid")).expect("runs");
+        assert_eq!(report.adversary_mode, "online");
+        for station in &report.station_reports {
+            assert_eq!(station.phases.len(), 2, "initial phase + splice");
+            assert_eq!(station.phases[1].from_secs, 15.0);
+            assert_eq!(station.phases[1].defense, "padding");
+            assert!(station.phases[1].overhead_pct > 0.0);
+            let total: u64 = station.phases.iter().map(|p| p.windows).sum();
+            assert_eq!(total, station.windows);
+        }
+    }
+}

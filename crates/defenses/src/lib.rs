@@ -36,6 +36,7 @@ pub mod morphing;
 pub mod overhead;
 pub mod padding;
 pub mod pseudonym;
+pub mod spec;
 pub mod stage;
 
 pub use frequency_hopping::{FrequencyHopper, FrequencyHoppingStage};
@@ -43,4 +44,5 @@ pub use morphing::{MorphingStage, TrafficMorpher};
 pub use overhead::Overhead;
 pub use padding::{PacketPadder, PaddingStage};
 pub use pseudonym::{PseudonymRotator, PseudonymStage};
+pub use spec::{DefenseStageSpec, StageContext};
 pub use stage::{FlowId, FlowMap, FlowTraces, PacketStage, StagePipeline, ROOT_FLOW};

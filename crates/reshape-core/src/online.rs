@@ -114,14 +114,25 @@ impl OnlineReshaper {
     /// Creates an online reshaper tracking realized distributions over custom
     /// ranges.
     pub fn with_tracking_ranges(algorithm: Box<dyn ReshapeAlgorithm>, ranges: SizeRanges) -> Self {
-        let interfaces = algorithm.interface_count();
-        OnlineReshaper {
+        let mut reshaper = OnlineReshaper {
             algorithm,
-            realized: RealizedDistributions::new(interfaces, ranges.clone()),
+            realized: RealizedDistributions::new(0, ranges.clone()),
             tracking_ranges: ranges,
-            per_vif_packets: vec![0; interfaces],
-            per_vif_bytes: vec![0; interfaces],
-        }
+            per_vif_packets: Vec::new(),
+            per_vif_bytes: Vec::new(),
+        };
+        reshaper.clear_streaming_state();
+        reshaper
+    }
+
+    /// Rebuilds the per-stream state (realized distributions and per-interface
+    /// counters) for the algorithm's current interface count — the one place
+    /// both construction and [`reset`](Self::reset) get it from.
+    fn clear_streaming_state(&mut self) {
+        let interfaces = self.algorithm.interface_count();
+        self.realized = RealizedDistributions::new(interfaces, self.tracking_ranges.clone());
+        self.per_vif_packets = vec![0; interfaces];
+        self.per_vif_bytes = vec![0; interfaces];
     }
 
     /// The number of virtual interfaces of the underlying algorithm.
@@ -210,10 +221,7 @@ impl OnlineReshaper {
     /// engine can be reused on a fresh stream.
     pub fn reset(&mut self) {
         self.algorithm.reset();
-        let interfaces = self.algorithm.interface_count();
-        self.realized = RealizedDistributions::new(interfaces, self.tracking_ranges.clone());
-        self.per_vif_packets = vec![0; interfaces];
-        self.per_vif_bytes = vec![0; interfaces];
+        self.clear_streaming_state();
     }
 }
 

@@ -44,12 +44,14 @@ pub mod models;
 pub mod packet;
 pub mod profile;
 pub mod sampler;
+pub mod spec;
 pub mod stream;
 pub mod trace;
 
 pub use app::AppKind;
 pub use generator::{SessionGenerator, TrafficModel};
 pub use packet::{Direction, PacketRecord};
+pub use spec::TrafficSpec;
 pub use stream::{FlowStream, PacketSource, StreamingSession, TraceStream};
 pub use trace::Trace;
 

@@ -65,6 +65,25 @@ pub fn value_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value>
     map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+/// Rejects map entries outside `allowed` — the strict-schema check
+/// hand-written `Deserialize` impls use so a typo'd key errors instead of
+/// silently falling back to a default.
+pub fn value_deny_unknown(
+    map: &[(String, Value)],
+    allowed: &[&str],
+    what: &str,
+) -> Result<(), Error> {
+    for (key, _) in map {
+        if !allowed.contains(&key.as_str()) {
+            return Err(Error::custom(format!(
+                "unknown key `{key}` in {what} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Serialization/deserialization error.
 #[derive(Debug, Clone)]
 pub struct Error(String);
