@@ -1,15 +1,20 @@
 //! Runs (or validates) declarative scenario specs.
 //!
 //! ```text
-//! cargo run --release -p bench --bin scenario_run -- [--check] [--out DIR] [PATH ...]
+//! cargo run --release -p bench --bin scenario_run -- \
+//!     [--check] [--out DIR] [--skip-over N] [PATH ...]
 //! ```
 //!
 //! Each `PATH` is a spec file or a directory of `*.toml` specs; the committed
 //! `scenarios/` directory is the default. Every spec is parsed and compiled
 //! through `ScenarioSpec::build()`; with `--check` that is all (CI gates on
-//! it, so a malformed committed spec fails the build), otherwise each
-//! scenario runs on the work-stealing pool and its report is written to
-//! `DIR/<name>.json` (default `scenario-results/`).
+//! it, so a malformed committed spec fails the build — compilation is
+//! O(groups + events), so even the million-station metropolis spec checks in
+//! milliseconds), otherwise each scenario runs on its spec'd executor and its
+//! report is written to `DIR/<name>.json` (default `scenario-results/`).
+//! `--skip-over N` skips *executing* (not checking) scenarios with more than
+//! N stations, so routine CI sweeps don't run the metropolis family at full
+//! size.
 
 use bench::scenario::{default_scenarios_dir, load_spec, run_scenario, spec_files};
 use std::path::PathBuf;
@@ -17,6 +22,7 @@ use std::path::PathBuf;
 fn main() {
     let mut check_only = false;
     let mut out_dir = PathBuf::from("scenario-results");
+    let mut skip_over: Option<usize> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,8 +32,12 @@ fn main() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => fail("--out needs a directory argument"),
             },
+            "--skip-over" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => skip_over = Some(n),
+                None => fail("--skip-over needs a station-count argument"),
+            },
             "--help" | "-h" => {
-                println!("usage: scenario_run [--check] [--out DIR] [PATH ...]");
+                println!("usage: scenario_run [--check] [--out DIR] [--skip-over N] [PATH ...]");
                 return;
             }
             other => paths.push(PathBuf::from(other)),
@@ -75,8 +85,16 @@ fn main() {
             println!(
                 "ok {} ({} stations, {} events)",
                 scenario.name,
-                scenario.stations.len(),
+                scenario.station_count(),
                 spec.events.len()
+            );
+            continue;
+        }
+        if skip_over.is_some_and(|cap| scenario.station_count() > cap) {
+            println!(
+                "skip {} ({} stations > --skip-over cap)",
+                scenario.name,
+                scenario.station_count()
             );
             continue;
         }

@@ -39,5 +39,8 @@ pub mod tables;
 
 pub use corpus::ExperimentConfig;
 pub use pipeline::DefenseKind;
-pub use scenario::{run_scenario, DefenseSpec, Scenario, ScenarioReport, ScenarioSpec};
+pub use scenario::{
+    run_scenario, CompiledScenario, DefenseSpec, Scenario, ScenarioReport, ScenarioSpec,
+};
+pub use streaming::{Executor, ExecutorStats, FrozenScorer, StationRun, WindowScorer};
 pub use streaming::{StationReport, StationSpec};

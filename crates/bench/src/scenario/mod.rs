@@ -7,8 +7,12 @@
 //! a [`DefenseSpec`] stage list per station, an [`AdversarySpec`] (batch or
 //! prequential online), and an optional event schedule (mid-session defense
 //! splices, station arrival/departure churn). [`ScenarioSpec::build`]
-//! compiles it onto the existing streaming machinery, [`run_scenario`]
-//! executes it on the work-stealing pool, and the result serializes to JSON.
+//! compiles it into a [`CompiledScenario`] — population kept symbolic, so a
+//! million-station spec compiles in O(groups + events) — and
+//! [`run_scenario`] executes it on the spec'd
+//! [`Executor`](crate::streaming::Executor): the work-stealing pool, or the
+//! virtual-time event core for populations that only fit as
+//! O(active stations) state. The result serializes to JSON.
 //!
 //! Adding an experiment is writing a TOML file:
 //!
@@ -22,23 +26,39 @@ pub mod run;
 pub mod spec;
 pub mod toml;
 
-pub use run::{run_scenario, PhaseOutcome, ScenarioReport, StationOutcome};
+pub use run::{
+    execute_scenario, run_scenario, train_for, PhaseOutcome, ScenarioReport, StationOutcome,
+    TrainedAdversary,
+};
 pub use spec::{
-    kind_pipeline, AdversaryMode, AdversarySpec, AlgorithmSpec, DefenseSpec, EventKind, EventSpec,
-    Scenario, ScenarioSpec, ScenarioStation, StageSpec, StationGroupSpec,
+    kind_pipeline, AdversaryMode, AdversarySpec, AlgorithmSpec, CompiledScenario, DefenseSpec,
+    EventKind, EventSpec, Population, Scenario, ScenarioSpec, ScenarioStation, StageSpec,
+    StationGroupSpec,
 };
 
 use serde::Deserialize;
 use std::path::{Path, PathBuf};
 
 /// Loads one scenario spec from a TOML file; the file stem names the
-/// scenario unless the spec sets `name` itself.
+/// scenario unless the spec sets `name` itself. Each `[[events]]` entry is
+/// annotated with its header's line number, so `build()` errors point into
+/// the file.
 pub fn load_spec(path: &Path) -> Result<ScenarioSpec, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
     let value = toml::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut spec =
         ScenarioSpec::from_value(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+    // The value tree carries no spans, but `[[events]]` headers are literal
+    // lines: the i-th header opens the i-th event, in document order.
+    let header_lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| line.trim_start().starts_with("[[events]]"))
+        .map(|(i, _)| (i + 1) as u32);
+    for (event, line) in spec.events.iter_mut().zip(header_lines) {
+        event.line = Some(line);
+    }
     if spec.name.is_empty() {
         spec.name = path
             .file_stem()

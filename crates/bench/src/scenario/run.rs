@@ -1,18 +1,28 @@
-//! Executes compiled scenarios on the work-stealing pool and reports results.
+//! Executes compiled scenarios and reports results.
 //!
 //! [`run_scenario`] is the one spec-driven runner: it trains the adversary
-//! the spec asks for (frozen batch ensemble, or a warm-started online
-//! adversary forked per station), then streams every station — with its
-//! defense schedule, arrival/departure churn and splices — through
-//! [`stream_station_scheduled`] on the bounded work-stealing pool. The
-//! returned [`ScenarioReport`] serializes straight to JSON through the serde
+//! the spec asks for ([`train_for`] → a frozen batch ensemble, or a
+//! warm-started online adversary forked per station), then compiles every
+//! station of the [`CompiledScenario`] into a
+//! [`StationRun`](crate::streaming::StationRun) and hands the population to
+//! the spec'd [`Executor`] — the work-stealing pool, or the virtual-time
+//! event core for populations that only fit as O(active stations) state.
+//! Station outcomes are deterministic per seed whichever executor (and
+//! worker count) runs them, so the returned [`ScenarioReport`] is a pure
+//! function of the spec. It serializes straight to JSON through the serde
 //! shim, which is what `scenario_run` writes per scenario and `bench_json`
 //! embeds in the committed baseline.
 
 use crate::pipeline::{train_adversary, train_adversary_online};
-use crate::scenario::spec::{AdversaryMode, Scenario, ScenarioStation, SCENARIO_FEATURE_MODE};
-use crate::streaming::{pooled, FrozenScorer, ScheduledReport, WindowScorer};
-use classifier::online::PrequentialEvaluator;
+use crate::scenario::spec::{
+    AdversaryMode, CompiledScenario, ScenarioStation, SCENARIO_FEATURE_MODE,
+};
+use crate::streaming::{
+    Executor, ExecutorStats, FrozenScorer, ScheduledReport, StationRun, WindowScorer,
+};
+use classifier::ensemble::AdversaryEnsemble;
+use classifier::online::{OnlineAdversary, PrequentialEvaluator, SegmentStats};
+use classifier::stream::WindowExample;
 use serde::Serialize;
 use traffic_gen::app::AppKind;
 
@@ -76,51 +86,181 @@ pub struct ScenarioReport {
     pub identification_rate: f64,
     /// Mean of per-station overhead percentages (Table VI's convention).
     pub mean_overhead_pct: f64,
-    /// Per-station outcomes, in population order.
+    /// Per-station outcomes, in population order; capped by the spec's
+    /// `max_station_reports` (aggregates above always cover everyone).
     pub station_reports: Vec<StationOutcome>,
 }
 
-/// Runs a compiled scenario: trains the spec'd adversary once, then streams
-/// every station concurrently on the work-stealing pool. Station outcomes are
-/// deterministic per seed regardless of which worker steals which station
-/// (stations are independent; the shared adversary is only read, online
-/// stations fork their own copy).
-pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
-    let mode = SCENARIO_FEATURE_MODE;
-    let outcomes: Vec<Result<StationOutcome, String>> = match scenario.adversary.mode {
-        AdversaryMode::Batch => {
-            let adversary = train_adversary(&scenario.adversary.train, mode);
-            pooled(scenario.stations.len(), |i| {
-                let mut scorer = FrozenScorer(&adversary);
-                run_station(scenario, &scenario.stations[i], &mut scorer)
-            })
+/// A scenario's trained adversary, reusable across executions — training is
+/// the expensive part, so equivalence tests train once and execute many
+/// times.
+pub enum TrainedAdversary {
+    /// A frozen batch ensemble, shared by reference across all stations.
+    Frozen(AdversaryEnsemble),
+    /// A warm-started online adversary, forked (cloned) per station.
+    Warm {
+        /// The warm base every station forks.
+        adversary: OnlineAdversary,
+        /// Timeline cadence (windows per snapshot) of the per-station forks.
+        snapshot_every: u64,
+    },
+}
+
+/// Trains the adversary a scenario's spec asks for.
+pub fn train_for(scenario: &CompiledScenario) -> TrainedAdversary {
+    match scenario.adversary.mode {
+        AdversaryMode::Batch => TrainedAdversary::Frozen(train_adversary(
+            &scenario.adversary.train,
+            SCENARIO_FEATURE_MODE,
+        )),
+        AdversaryMode::Online => TrainedAdversary::Warm {
+            adversary: train_adversary_online(&scenario.adversary.train, SCENARIO_FEATURE_MODE)
+                .into_adversary(),
+            snapshot_every: scenario.adversary.snapshot_every,
+        },
+    }
+}
+
+/// Either scoring mode behind one scorer type, so a single executor call
+/// covers both adversary modes.
+enum ScenarioScorer<'a> {
+    Frozen(FrozenScorer<'a>),
+    Live(PrequentialEvaluator),
+}
+
+impl WindowScorer for ScenarioScorer<'_> {
+    fn score(&mut self, example: &WindowExample) -> usize {
+        match self {
+            ScenarioScorer::Frozen(scorer) => scorer.score(example),
+            ScenarioScorer::Live(evaluator) => evaluator.score(example),
         }
-        AdversaryMode::Online => {
-            let warm = train_adversary_online(&scenario.adversary.train, mode).into_adversary();
-            pooled(scenario.stations.len(), |i| {
-                let mut evaluator =
-                    PrequentialEvaluator::new(warm.clone(), scenario.adversary.snapshot_every);
-                run_station(scenario, &scenario.stations[i], &mut evaluator)
-            })
+    }
+
+    fn end_phase(&mut self) -> Option<SegmentStats> {
+        match self {
+            ScenarioScorer::Frozen(scorer) => scorer.end_phase(),
+            ScenarioScorer::Live(evaluator) => evaluator.end_phase(),
         }
-    };
-    let station_reports = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
-    let packets = station_reports.iter().map(|s| s.packets).sum();
-    let windows: u64 = station_reports.iter().map(|s| s.windows).sum();
-    let windows_identified: u64 = station_reports.iter().map(|s| s.windows_identified).sum();
+    }
+}
+
+/// One station's folded result: the aggregate counters always, the full
+/// outcome only below the report cap.
+struct StationResult {
+    packets: u64,
+    windows: u64,
+    windows_identified: u64,
+    overhead_pct: f64,
+    outcome: Option<StationOutcome>,
+}
+
+/// A compiled station as the builder the executors consume.
+fn station_run(scenario: &CompiledScenario, station: ScenarioStation) -> StationRun<'static> {
+    let ScenarioStation {
+        traffic,
+        interfaces,
+        defense,
+        arrival_secs,
+        departure_secs: _,
+        splices,
+    } = station;
+    StationRun::new(traffic)
+        .defense(defense)
+        .splices(splices)
+        .interfaces(interfaces)
+        .calib_secs(scenario.calib_secs)
+        .window(scenario.window)
+        .feature_mode(SCENARIO_FEATURE_MODE)
+        .arrival_secs(arrival_secs)
+}
+
+/// Folds a [`ScheduledReport`] into a [`StationResult`].
+fn station_result(
+    station: &ScenarioStation,
+    report: &ScheduledReport,
+    detailed: bool,
+) -> StationResult {
+    let outcome = detailed.then(|| {
+        let mut labels: Vec<String> = vec![station.defense.label()];
+        labels.extend(station.splices.iter().map(|(_, d)| d.label()));
+        let phases = report
+            .phases
+            .iter()
+            .zip(&labels)
+            .map(|(phase, label)| PhaseOutcome {
+                from_secs: phase.from_secs,
+                defense: label.clone(),
+                windows: phase.windows,
+                windows_identified: phase.windows_identified,
+                overhead_pct: phase.overhead.percent(),
+            })
+            .collect();
+        StationOutcome {
+            app: station.traffic.app,
+            seed: station.traffic.seed,
+            arrival_secs: station.arrival_secs,
+            session_secs: station.session_secs(),
+            packets: report.packets,
+            windows: report.windows(),
+            windows_identified: report.windows_identified(),
+            identification_rate: report.identification_rate(),
+            overhead_pct: report.overhead().percent(),
+            phases,
+        }
+    });
+    StationResult {
+        packets: report.packets,
+        windows: report.windows(),
+        windows_identified: report.windows_identified(),
+        overhead_pct: report.overhead().percent(),
+        outcome,
+    }
+}
+
+/// Executes a compiled scenario on `executor` with an already-trained
+/// adversary. The report is identical for every executor and worker count;
+/// the returned [`ExecutorStats`] describe how this particular run was
+/// scheduled (and are deliberately not part of the report).
+pub fn execute_scenario(
+    scenario: &CompiledScenario,
+    adversary: &TrainedAdversary,
+    executor: Executor,
+) -> Result<(ScenarioReport, ExecutorStats), String> {
+    let outcome = executor.run(
+        scenario.station_count(),
+        |i| station_run(scenario, scenario.station(i)),
+        |_| match adversary {
+            TrainedAdversary::Frozen(ensemble) => ScenarioScorer::Frozen(FrozenScorer(ensemble)),
+            TrainedAdversary::Warm {
+                adversary,
+                snapshot_every,
+            } => ScenarioScorer::Live(PrequentialEvaluator::new(
+                adversary.clone(),
+                *snapshot_every,
+            )),
+        },
+        |i, report, _| {
+            let station = scenario.station(i);
+            station_result(&station, &report, i < scenario.max_station_reports)
+        },
+    )?;
+    let results = outcome.results;
+    let packets = results.iter().map(|s| s.packets).sum();
+    let windows: u64 = results.iter().map(|s| s.windows).sum();
+    let windows_identified: u64 = results.iter().map(|s| s.windows_identified).sum();
     // Mean of per-station percentages, Table VI's convention.
-    let mean_overhead_pct = if station_reports.is_empty() {
+    let mean_overhead_pct = if results.is_empty() {
         0.0
     } else {
-        station_reports.iter().map(|s| s.overhead_pct).sum::<f64>() / station_reports.len() as f64
+        results.iter().map(|s| s.overhead_pct).sum::<f64>() / results.len() as f64
     };
-    Ok(ScenarioReport {
+    let report = ScenarioReport {
         scenario: scenario.name.clone(),
         adversary_mode: match scenario.adversary.mode {
             AdversaryMode::Batch => "batch".to_string(),
             AdversaryMode::Online => "online".to_string(),
         },
-        stations: scenario.stations.len(),
+        stations: scenario.station_count(),
         packets,
         windows,
         windows_identified,
@@ -130,61 +270,16 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
             windows_identified as f64 / windows as f64
         },
         mean_overhead_pct,
-        station_reports,
-    })
+        station_reports: results.into_iter().filter_map(|s| s.outcome).collect(),
+    };
+    Ok((report, outcome.stats))
 }
 
-/// Streams one station through its compiled schedule.
-fn run_station(
-    scenario: &Scenario,
-    station: &ScenarioStation,
-    scorer: &mut dyn WindowScorer,
-) -> Result<StationOutcome, String> {
-    let pipelines = station.build_pipelines(scenario.calib_secs)?;
-    let mut labels: Vec<String> = vec![station.defense.label()];
-    labels.extend(station.splices.iter().map(|(_, d)| d.label()));
-    let mut session = station.traffic.build();
-    let report = crate::streaming::stream_station_scheduled(
-        &mut session,
-        station.traffic.app,
-        pipelines,
-        scenario.window,
-        SCENARIO_FEATURE_MODE,
-        scorer,
-    );
-    Ok(station_outcome(station, &labels, &report))
-}
-
-/// Folds a [`ScheduledReport`] into the serializable outcome.
-fn station_outcome(
-    station: &ScenarioStation,
-    labels: &[String],
-    report: &ScheduledReport,
-) -> StationOutcome {
-    let phases = report
-        .phases
-        .iter()
-        .zip(labels)
-        .map(|(phase, label)| PhaseOutcome {
-            from_secs: phase.from_secs,
-            defense: label.clone(),
-            windows: phase.windows,
-            windows_identified: phase.windows_identified,
-            overhead_pct: phase.overhead.percent(),
-        })
-        .collect();
-    StationOutcome {
-        app: station.traffic.app,
-        seed: station.traffic.seed,
-        arrival_secs: station.arrival_secs,
-        session_secs: station.session_secs(),
-        packets: report.packets,
-        windows: report.windows(),
-        windows_identified: report.windows_identified(),
-        identification_rate: report.identification_rate(),
-        overhead_pct: report.overhead().percent(),
-        phases,
-    }
+/// Runs a compiled scenario end to end: trains the spec'd adversary once,
+/// then executes the population on the spec'd executor.
+pub fn run_scenario(scenario: &CompiledScenario) -> Result<ScenarioReport, String> {
+    let adversary = train_for(scenario);
+    execute_scenario(scenario, &adversary, scenario.executor).map(|(report, _)| report)
 }
 
 #[cfg(test)]
@@ -210,6 +305,7 @@ mod tests {
                     secs: 30.0,
                     interfaces: None,
                     defense: DefenseSpec::from_kind(DefenseKind::Orthogonal),
+                    stagger_secs: 0.0,
                 },
                 StationGroupSpec {
                     app: AppKind::Video,
@@ -218,10 +314,13 @@ mod tests {
                     secs: 30.0,
                     interfaces: None,
                     defense: DefenseSpec::none(),
+                    stagger_secs: 0.0,
                 },
             ],
             adversary: AdversarySpec::default(),
             events: Vec::new(),
+            executor: Executor::Pooled,
+            max_station_reports: usize::MAX,
         }
     }
 
@@ -244,12 +343,65 @@ mod tests {
     }
 
     #[test]
+    fn the_virtual_time_executor_reproduces_the_pool_report() {
+        let mut spec = small_spec();
+        spec.events = vec![EventSpec {
+            at_secs: 12.0,
+            station: Some(2),
+            kind: EventKind::Arrive,
+            line: None,
+        }];
+        let scenario = spec.build().expect("valid spec");
+        let adversary = train_for(&scenario);
+        let (pooled, pool_stats) =
+            execute_scenario(&scenario, &adversary, Executor::Pooled).expect("runs");
+        for workers in [1usize, 2, 8] {
+            let (vtime, stats) = execute_scenario(
+                &scenario,
+                &adversary,
+                Executor::VirtualTime {
+                    workers: Some(workers),
+                },
+            )
+            .expect("runs");
+            assert_eq!(
+                vtime, pooled,
+                "{workers}-worker virtual time diverged from the pool"
+            );
+            assert_eq!(stats.admitted, 3);
+            assert_eq!(
+                stats.peak_active, 3,
+                "station 2 arrives at 12 s while the other two are still live"
+            );
+        }
+        assert_eq!(pool_stats.admitted, 3);
+    }
+
+    #[test]
+    fn the_report_cap_keeps_aggregates_over_everyone() {
+        let mut spec = small_spec();
+        spec.max_station_reports = 1;
+        let scenario = spec.build().expect("valid spec");
+        let capped = run_scenario(&scenario).expect("runs");
+        assert_eq!(capped.station_reports.len(), 1);
+        assert_eq!(capped.stations, 3);
+
+        let mut full_spec = small_spec();
+        full_spec.max_station_reports = usize::MAX;
+        let full = run_scenario(&full_spec.build().expect("valid")).expect("runs");
+        assert_eq!(full.packets, capped.packets, "aggregates cover everyone");
+        assert_eq!(full.windows, capped.windows);
+        assert_eq!(full.station_reports[0], capped.station_reports[0]);
+    }
+
+    #[test]
     fn departed_stations_stream_less_than_their_peers() {
         let mut spec = small_spec();
         spec.events = vec![EventSpec {
             at_secs: 10.0,
             station: Some(1),
             kind: EventKind::Depart,
+            line: None,
         }];
         let report = run_scenario(&spec.build().expect("valid")).expect("runs");
         let [full, departed, _] = &report.station_reports[..] else {
@@ -273,6 +425,7 @@ mod tests {
             at_secs: 15.0,
             station: None,
             kind: EventKind::Splice(DefenseSpec::from_kind(DefenseKind::Padding)),
+            line: None,
         }];
         let report = run_scenario(&spec.build().expect("valid")).expect("runs");
         assert_eq!(report.adversary_mode, "online");

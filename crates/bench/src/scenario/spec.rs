@@ -34,6 +34,7 @@
 
 use crate::corpus::ExperimentConfig;
 use crate::pipeline::DefenseKind;
+use crate::streaming::Executor;
 use classifier::window::FeatureMode;
 use defenses::spec::{DefenseStageSpec, StageContext};
 use defenses::stage::StagePipeline;
@@ -43,6 +44,7 @@ use reshape_core::scheduler::{
 };
 use reshape_core::stage::ReshapeStage;
 use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::BTreeMap;
 use traffic_gen::app::AppKind;
 use traffic_gen::spec::{app_from_value, TrafficSpec};
 use traffic_gen::trace::Trace;
@@ -366,6 +368,10 @@ pub struct StationGroupSpec {
     pub interfaces: Option<usize>,
     /// The defense pipeline protecting the group.
     pub defense: DefenseSpec,
+    /// Arrival stagger within the group: member `i` arrives at wall-clock
+    /// `i * stagger_secs` (0 = everyone at once). This is how large
+    /// populations state continuous churn in O(1) spec space.
+    pub stagger_secs: f64,
 }
 
 impl Deserialize for StationGroupSpec {
@@ -375,7 +381,15 @@ impl Deserialize for StationGroupSpec {
             .ok_or_else(|| Error::custom("expected a station table"))?;
         serde::value_deny_unknown(
             map,
-            &["app", "count", "seed", "secs", "interfaces", "defense"],
+            &[
+                "app",
+                "count",
+                "seed",
+                "secs",
+                "interfaces",
+                "defense",
+                "stagger_secs",
+            ],
             "station group",
         )?;
         let app = app_from_value(
@@ -400,6 +414,10 @@ impl Deserialize for StationGroupSpec {
             .map(DefenseSpec::from_value)
             .transpose()?
             .unwrap_or_default();
+        let stagger_secs = serde::value_get(map, "stagger_secs")
+            .map(f64::from_value)
+            .transpose()?
+            .unwrap_or(0.0);
         Ok(StationGroupSpec {
             app,
             count,
@@ -407,6 +425,7 @@ impl Deserialize for StationGroupSpec {
             secs,
             interfaces,
             defense,
+            stagger_secs,
         })
     }
 }
@@ -548,6 +567,19 @@ pub struct EventSpec {
     pub station: Option<usize>,
     /// What happens.
     pub kind: EventKind,
+    /// The `[[events]]` header's line in the spec file, when loaded from
+    /// one — build errors cite it.
+    pub line: Option<u32>,
+}
+
+impl EventSpec {
+    /// How a build error names this event (`[[events]] entry #2 (line 31)`).
+    fn describe(&self, index: usize) -> String {
+        match self.line {
+            Some(line) => format!("[[events]] entry #{} (line {line})", index + 1),
+            None => format!("[[events]] entry #{}", index + 1),
+        }
+    }
 }
 
 impl Deserialize for EventSpec {
@@ -590,6 +622,7 @@ impl Deserialize for EventSpec {
             at_secs,
             station,
             kind,
+            line: None,
         })
     }
 }
@@ -613,6 +646,12 @@ pub struct ScenarioSpec {
     pub adversary: AdversarySpec,
     /// The event schedule (splices and churn).
     pub events: Vec<EventSpec>,
+    /// Which executor runs the population (`"pooled"` or `"virtual_time"`).
+    pub executor: Executor,
+    /// How many stations keep a full per-station outcome in the report
+    /// (aggregates always cover everyone). Caps report size for
+    /// million-station scenarios.
+    pub max_station_reports: usize,
 }
 
 impl Deserialize for ScenarioSpec {
@@ -631,6 +670,8 @@ impl Deserialize for ScenarioSpec {
                 "stations",
                 "adversary",
                 "events",
+                "executor",
+                "max_station_reports",
             ],
             "scenario",
         )?;
@@ -666,6 +707,19 @@ impl Deserialize for ScenarioSpec {
             .map(Vec::<EventSpec>::from_value)
             .transpose()?
             .unwrap_or_default();
+        let executor = match serde::value_get(map, "executor") {
+            None => Executor::default(),
+            Some(Value::Str(s)) => Executor::parse(s).map_err(Error::custom)?,
+            Some(other) => {
+                return Err(Error::custom(format!(
+                    "expected executor tag string, found {other:?}"
+                )))
+            }
+        };
+        let max_station_reports = serde::value_get(map, "max_station_reports")
+            .map(usize::from_value)
+            .transpose()?
+            .unwrap_or(usize::MAX);
         Ok(ScenarioSpec {
             name,
             seed,
@@ -675,6 +729,8 @@ impl Deserialize for ScenarioSpec {
             stations,
             adversary,
             events,
+            executor,
+            max_station_reports,
         })
     }
 }
@@ -717,9 +773,130 @@ impl ScenarioStation {
     }
 }
 
-/// A compiled, validated scenario ready to run.
+/// One compiled station group: seeds resolved, interfaces defaulted.
+/// `Population` materialises members on demand from these.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Scenario {
+struct CompiledGroup {
+    /// Global index of the group's first member.
+    first: usize,
+    /// Member count.
+    count: usize,
+    /// The application every member runs.
+    app: AppKind,
+    /// Member `i` streams with seed `base_seed + i`.
+    base_seed: u64,
+    /// Session length per member, before departure clipping.
+    secs: f64,
+    /// Resolved virtual-interface count.
+    interfaces: usize,
+    /// The group's defense pipeline.
+    defense: DefenseSpec,
+    /// Member `i` arrives at `i * stagger_secs` unless an arrive event
+    /// overrides it.
+    stagger_secs: f64,
+}
+
+/// A station's churn override from explicit `[[events]]` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct ChurnOverride {
+    arrival: Option<f64>,
+    departure: Option<f64>,
+}
+
+/// The compiled station population, stored by *rule*, not by member: group
+/// descriptors, per-station churn overrides and the splice schedule. A
+/// million-station population is a handful of groups plus its explicit
+/// events, and [`station`](Population::station) materialises any member on
+/// demand — the representation that lets the virtual-time executor hold
+/// state only for stations currently on air.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    groups: Vec<CompiledGroup>,
+    churn: BTreeMap<usize, ChurnOverride>,
+    /// `(wall-clock second, target station or all, defense)` in spec order.
+    splices: Vec<(f64, Option<usize>, DefenseSpec)>,
+    total: usize,
+}
+
+impl Population {
+    /// Total station count.
+    pub fn station_count(&self) -> usize {
+        self.total
+    }
+
+    fn group_of(&self, index: usize) -> &CompiledGroup {
+        &self.groups[self.groups.partition_point(|g| g.first + g.count <= index)]
+    }
+
+    /// The station's wall-clock arrival second (override or stagger).
+    fn arrival_of(&self, index: usize) -> f64 {
+        self.churn
+            .get(&index)
+            .and_then(|c| c.arrival)
+            .unwrap_or_else(|| {
+                let group = self.group_of(index);
+                (index - group.first) as f64 * group.stagger_secs
+            })
+    }
+
+    /// The station's active wall-clock interval `[arrival, end]`.
+    fn interval_of(&self, index: usize) -> (f64, f64) {
+        let arrival = self.arrival_of(index);
+        let mut secs = self.group_of(index).secs;
+        if let Some(depart) = self.churn.get(&index).and_then(|c| c.departure) {
+            secs = secs.min((depart - arrival).max(0.0));
+        }
+        (arrival, arrival + secs)
+    }
+
+    /// Materialises station `index`: resolved seed, arrival, departure-
+    /// clipped duration and its session-relative splice schedule.
+    ///
+    /// # Panics
+    /// If `index` is out of range.
+    pub fn station(&self, index: usize) -> ScenarioStation {
+        assert!(
+            index < self.total,
+            "station {index} out of range (0..{})",
+            self.total
+        );
+        let group = self.group_of(index);
+        let member = index - group.first;
+        let over = self.churn.get(&index).copied().unwrap_or_default();
+        let arrival_secs = over.arrival.unwrap_or(member as f64 * group.stagger_secs);
+        let mut secs = group.secs;
+        if let Some(depart) = over.departure {
+            // Clip the session at departure: a departed station generates
+            // nothing past its departure.
+            secs = secs.min((depart - arrival_secs).max(0.0));
+        }
+        // Session-relative: a splice before the station arrives applies from
+        // its first packet (the t=0 edge case).
+        let mut splices: Vec<(f64, DefenseSpec)> = self
+            .splices
+            .iter()
+            .filter(|(_, target, _)| target.is_none_or(|t| t == index))
+            .map(|(at, _, defense)| ((at - arrival_secs).max(0.0), defense.clone()))
+            .collect();
+        splices.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("splice times are finite"));
+        ScenarioStation {
+            traffic: TrafficSpec::bounded(
+                group.app,
+                group.base_seed.wrapping_add(member as u64),
+                secs,
+            ),
+            interfaces: group.interfaces,
+            defense: group.defense.clone(),
+            arrival_secs,
+            departure_secs: over.departure,
+            splices,
+        }
+    }
+}
+
+/// A compiled, validated scenario ready to run on either executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledScenario {
     /// The scenario's name (report key and output file stem).
     pub name: String,
     /// The eavesdropping window.
@@ -728,29 +905,64 @@ pub struct Scenario {
     pub calib_secs: f64,
     /// The adversary.
     pub adversary: AdversarySpec,
-    /// The compiled station population.
-    pub stations: Vec<ScenarioStation>,
+    /// Which executor runs the population.
+    pub executor: Executor,
+    /// How many stations keep a full per-station outcome in the report.
+    pub max_station_reports: usize,
+    /// The compiled station population (materialised on demand).
+    pub population: Population,
+}
+
+/// Historical name of [`CompiledScenario`].
+pub type Scenario = CompiledScenario;
+
+impl CompiledScenario {
+    /// Total station count.
+    pub fn station_count(&self) -> usize {
+        self.population.station_count()
+    }
+
+    /// Materialises station `index` (see [`Population::station`]).
+    pub fn station(&self, index: usize) -> ScenarioStation {
+        self.population.station(index)
+    }
+
+    /// Iterates the whole population in station order, materialising each
+    /// member on demand.
+    pub fn stations(&self) -> impl Iterator<Item = ScenarioStation> + '_ {
+        (0..self.station_count()).map(|i| self.station(i))
+    }
 }
 
 impl ScenarioSpec {
-    /// Compiles the spec into the streaming machinery's terms, validating
-    /// everything that can fail statically: station population non-empty,
-    /// positive durations, event indices in range, reshape stages valid for
-    /// their interface counts.
-    pub fn build(&self) -> Result<Scenario, String> {
+    /// Compiles the spec into a [`CompiledScenario`], validating everything
+    /// that can fail statically: station population non-empty, positive
+    /// durations, event indices in range, reshape stages valid for their
+    /// interface counts, and a coherent event schedule (a station cannot
+    /// depart before it arrives, and targeted splices must land inside the
+    /// target's active interval). The population itself stays symbolic, so
+    /// compiling a million-station spec is O(groups + events).
+    pub fn build(&self) -> Result<CompiledScenario, String> {
         if self.stations.is_empty() {
             return Err(format!("scenario `{}` has no stations", self.name));
         }
         if self.window_secs <= 0.0 {
             return Err("window_secs must be positive".to_string());
         }
-        let mut stations = Vec::new();
+        let mut groups = Vec::with_capacity(self.stations.len());
+        let mut first = 0usize;
         for (group_index, group) in self.stations.iter().enumerate() {
             if group.count == 0 {
                 return Err(format!("station group {group_index} has count 0"));
             }
             if group.secs <= 0.0 {
                 return Err(format!("station group {group_index} has non-positive secs"));
+            }
+            if !group.stagger_secs.is_finite() || group.stagger_secs < 0.0 {
+                return Err(format!(
+                    "station group {group_index} has invalid stagger_secs {}",
+                    group.stagger_secs
+                ));
             }
             let interfaces = group.interfaces.unwrap_or(self.interfaces);
             group
@@ -760,83 +972,125 @@ impl ScenarioSpec {
             let base_seed = group
                 .seed
                 .unwrap_or_else(|| derive_group_seed(self.seed, group_index));
-            for member in 0..group.count {
-                stations.push(ScenarioStation {
-                    traffic: TrafficSpec::bounded(
-                        group.app,
-                        base_seed.wrapping_add(member as u64),
-                        group.secs,
-                    ),
-                    interfaces,
-                    defense: group.defense.clone(),
-                    arrival_secs: 0.0,
-                    departure_secs: None,
-                    splices: Vec::new(),
-                });
-            }
+            groups.push(CompiledGroup {
+                first,
+                count: group.count,
+                app: group.app,
+                base_seed,
+                secs: group.secs,
+                interfaces,
+                defense: group.defense.clone(),
+                stagger_secs: group.stagger_secs,
+            });
+            first += group.count;
         }
-        // Churn first (splice times are relative to the arrival they follow).
-        for event in &self.events {
+        let total = first;
+        // Churn first (splice times are relative to the arrival they follow,
+        // and departure checks need the final arrival).
+        let mut churn: BTreeMap<usize, ChurnOverride> = BTreeMap::new();
+        let mut splices: Vec<(f64, Option<usize>, DefenseSpec)> = Vec::new();
+        for (index, event) in self.events.iter().enumerate() {
+            if !event.at_secs.is_finite() {
+                return Err(format!("{}: at_secs must be finite", event.describe(index)));
+            }
             match &event.kind {
                 EventKind::Arrive | EventKind::Depart => {
-                    let index = event
-                        .station
-                        .ok_or_else(|| "arrive/depart events need a `station` index".to_string())?;
-                    let count = stations.len();
-                    let station = stations.get_mut(index).ok_or_else(|| {
-                        format!("event station {index} out of range (0..{count})")
+                    let station = event.station.ok_or_else(|| {
+                        format!(
+                            "{}: arrive/depart events need a `station` index",
+                            event.describe(index)
+                        )
                     })?;
+                    if station >= total {
+                        return Err(format!(
+                            "{}: station {station} out of range (0..{total})",
+                            event.describe(index)
+                        ));
+                    }
+                    let entry = churn.entry(station).or_default();
                     match event.kind {
-                        EventKind::Arrive => station.arrival_secs = event.at_secs,
-                        EventKind::Depart => station.departure_secs = Some(event.at_secs),
+                        EventKind::Arrive => entry.arrival = Some(event.at_secs),
+                        EventKind::Depart => entry.departure = Some(event.at_secs),
                         _ => unreachable!(),
                     }
                 }
-                EventKind::Splice(_) => {}
-            }
-        }
-        for event in &self.events {
-            if let EventKind::Splice(defense) = &event.kind {
-                let targets: Vec<usize> = match event.station {
-                    Some(i) if i >= stations.len() => {
-                        return Err(format!(
-                            "event station {i} out of range (0..{})",
-                            stations.len()
-                        ))
+                EventKind::Splice(defense) => {
+                    if let Some(i) = event.station {
+                        if i >= total {
+                            return Err(format!(
+                                "{}: station {i} out of range (0..{total})",
+                                event.describe(index)
+                            ));
+                        }
                     }
-                    Some(i) => vec![i],
-                    None => (0..stations.len()).collect(),
-                };
-                for i in targets {
-                    let station = &mut stations[i];
-                    defense
-                        .validate(station.interfaces)
-                        .map_err(|e| format!("splice at {}s on station {i}: {e}", event.at_secs))?;
-                    // Session-relative: a splice before the station arrives
-                    // applies from its first packet (the t=0 edge case).
-                    let rel = (event.at_secs - station.arrival_secs).max(0.0);
-                    station.splices.push((rel, defense.clone()));
+                    splices.push((event.at_secs, event.station, defense.clone()));
                 }
             }
         }
-        for station in &mut stations {
-            station
-                .splices
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("splice times are finite"));
-            // Clip the session at departure: a departed station generates
-            // nothing past its departure.
-            if let Some(depart) = station.departure_secs {
-                let active = (depart - station.arrival_secs).max(0.0);
-                let secs = station.session_secs().min(active);
-                station.traffic.secs = Some(secs);
+        let population = Population {
+            groups,
+            churn,
+            splices,
+            total,
+        };
+        // Schedule-coherence pass, now that every arrival is final. Global
+        // splices keep the historical clamp-to-arrival semantics; targeted
+        // ones must land inside the target's active interval.
+        for (index, event) in self.events.iter().enumerate() {
+            match &event.kind {
+                EventKind::Depart => {
+                    let station = event.station.expect("validated above");
+                    let arrival = population.arrival_of(station);
+                    if event.at_secs <= arrival {
+                        return Err(format!(
+                            "{}: station {station} departs at {} s but arrives at {} s \
+                             — its session would be empty",
+                            event.describe(index),
+                            event.at_secs,
+                            arrival
+                        ));
+                    }
+                }
+                EventKind::Splice(defense) => match event.station {
+                    Some(i) => {
+                        defense
+                            .validate(population.group_of(i).interfaces)
+                            .map_err(|e| {
+                                format!("{}: splice on station {i}: {e}", event.describe(index))
+                            })?;
+                        let (arrival, end) = population.interval_of(i);
+                        if event.at_secs < arrival || event.at_secs > end {
+                            return Err(format!(
+                                "{}: splice at {} s lands outside station {i}'s active \
+                                 interval [{arrival} s, {end} s]",
+                                event.describe(index),
+                                event.at_secs
+                            ));
+                        }
+                    }
+                    None => {
+                        for (gi, group) in population.groups.iter().enumerate() {
+                            defense.validate(group.interfaces).map_err(|e| {
+                                format!(
+                                    "{}: splice on station group {gi} ({}): {e}",
+                                    event.describe(index),
+                                    group.app
+                                )
+                            })?;
+                        }
+                    }
+                },
+                EventKind::Arrive => {}
             }
         }
-        Ok(Scenario {
+        Ok(CompiledScenario {
             name: self.name.clone(),
             window: SimDuration::from_secs_f64(self.window_secs),
             calib_secs: self.calib_secs,
             adversary: self.adversary.clone(),
-            stations,
+            executor: self.executor,
+            max_station_reports: self.max_station_reports,
+            population,
         })
     }
 }
@@ -894,6 +1148,7 @@ mod tests {
                     secs: 40.0,
                     interfaces: None,
                     defense: DefenseSpec::from_kind(DefenseKind::Orthogonal),
+                    stagger_secs: 0.0,
                 },
                 StationGroupSpec {
                     app: AppKind::Video,
@@ -902,26 +1157,53 @@ mod tests {
                     secs: 40.0,
                     interfaces: Some(5),
                     defense: DefenseSpec::none(),
+                    stagger_secs: 0.0,
                 },
             ],
             adversary: AdversarySpec::default(),
             events: Vec::new(),
+            executor: Executor::Pooled,
+            max_station_reports: usize::MAX,
         }
     }
 
     #[test]
     fn build_expands_groups_with_consecutive_seeds() {
         let scenario = demo_spec().build().expect("valid spec");
-        assert_eq!(scenario.stations.len(), 3);
-        assert_eq!(scenario.stations[0].traffic.seed, 100);
-        assert_eq!(scenario.stations[1].traffic.seed, 101);
-        assert_eq!(scenario.stations[0].interfaces, 3);
-        assert_eq!(scenario.stations[2].interfaces, 5);
+        assert_eq!(scenario.station_count(), 3);
+        assert_eq!(scenario.station(0).traffic.seed, 100);
+        assert_eq!(scenario.station(1).traffic.seed, 101);
+        assert_eq!(scenario.station(0).interfaces, 3);
+        assert_eq!(scenario.station(2).interfaces, 5);
         assert_eq!(
-            scenario.stations[2].traffic.seed,
+            scenario.station(2).traffic.seed,
             derive_group_seed(7, 1),
             "unpinned groups derive their seed from the scenario seed"
         );
+        assert_eq!(scenario.stations().count(), 3);
+    }
+
+    #[test]
+    fn staggered_groups_spread_arrivals_without_events() {
+        let mut spec = demo_spec();
+        spec.stations[0].stagger_secs = 7.5;
+        let scenario = spec.build().expect("valid spec");
+        assert_eq!(scenario.station(0).arrival_secs, 0.0);
+        assert_eq!(scenario.station(1).arrival_secs, 7.5);
+        assert_eq!(
+            scenario.station(2).arrival_secs,
+            0.0,
+            "stagger is per-group"
+        );
+        // An explicit arrive event overrides the stagger.
+        spec.events = vec![EventSpec {
+            at_secs: 3.0,
+            station: Some(1),
+            kind: EventKind::Arrive,
+            line: None,
+        }];
+        let scenario = spec.build().expect("valid spec");
+        assert_eq!(scenario.station(1).arrival_secs, 3.0);
     }
 
     #[test]
@@ -932,20 +1214,23 @@ mod tests {
                 at_secs: 10.0,
                 station: Some(1),
                 kind: EventKind::Arrive,
+                line: None,
             },
             EventSpec {
                 at_secs: 30.0,
                 station: Some(1),
                 kind: EventKind::Depart,
+                line: None,
             },
             EventSpec {
                 at_secs: 20.0,
                 station: None,
                 kind: EventKind::Splice(DefenseSpec::from_kind(DefenseKind::Padding)),
+                line: None,
             },
         ];
         let scenario = spec.build().expect("valid spec");
-        let churned = &scenario.stations[1];
+        let churned = scenario.station(1);
         assert_eq!(churned.arrival_secs, 10.0);
         assert_eq!(churned.departure_secs, Some(30.0));
         // 40 s of traffic clipped to the 20 s the station is on air.
@@ -954,7 +1239,72 @@ mod tests {
         assert_eq!(churned.splices.len(), 1);
         assert_eq!(churned.splices[0].0, 10.0);
         // Un-churned stations see it at wall-clock = session time.
-        assert_eq!(scenario.stations[0].splices[0].0, 20.0);
+        assert_eq!(scenario.station(0).splices[0].0, 20.0);
+    }
+
+    #[test]
+    fn incoherent_event_schedules_are_rejected_with_their_entry() {
+        // Departing before arriving used to clip silently to an empty
+        // session; now it is a build error naming the offending entry.
+        let mut spec = demo_spec();
+        spec.events = vec![
+            EventSpec {
+                at_secs: 50.0,
+                station: Some(1),
+                kind: EventKind::Arrive,
+                line: Some(12),
+            },
+            EventSpec {
+                at_secs: 20.0,
+                station: Some(1),
+                kind: EventKind::Depart,
+                line: Some(17),
+            },
+        ];
+        let err = spec.build().expect_err("depart before arrive");
+        assert!(
+            err.contains("[[events]] entry #2 (line 17)") && err.contains("departs"),
+            "unexpected error: {err}"
+        );
+
+        // A targeted splice after the station's departure is equally dead.
+        spec.events = vec![
+            EventSpec {
+                at_secs: 10.0,
+                station: Some(0),
+                kind: EventKind::Depart,
+                line: None,
+            },
+            EventSpec {
+                at_secs: 25.0,
+                station: Some(0),
+                kind: EventKind::Splice(DefenseSpec::from_kind(DefenseKind::Padding)),
+                line: Some(31),
+            },
+        ];
+        let err = spec.build().expect_err("splice outside the interval");
+        assert!(
+            err.contains("(line 31)") && err.contains("active interval"),
+            "unexpected error: {err}"
+        );
+
+        // Global splices keep the historical clamp semantics (the committed
+        // scenarios rely on a global splice landing mid-churn).
+        spec.events = vec![
+            EventSpec {
+                at_secs: 10.0,
+                station: Some(0),
+                kind: EventKind::Depart,
+                line: None,
+            },
+            EventSpec {
+                at_secs: 25.0,
+                station: None,
+                kind: EventKind::Splice(DefenseSpec::from_kind(DefenseKind::Padding)),
+                line: None,
+            },
+        ];
+        assert!(spec.build().is_ok());
     }
 
     #[test]
@@ -972,8 +1322,13 @@ mod tests {
             at_secs: 1.0,
             station: Some(9),
             kind: EventKind::Depart,
+            line: None,
         }];
         assert!(bad_event.build().is_err());
+
+        let mut bad_stagger = demo_spec();
+        bad_stagger.stations[0].stagger_secs = -1.0;
+        assert!(bad_stagger.build().unwrap_err().contains("stagger"));
     }
 
     #[test]

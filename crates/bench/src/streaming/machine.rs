@@ -1,0 +1,265 @@
+//! The per-station evaluation machine: one packet in, phase splices and
+//! window scoring out.
+//!
+//! [`StationMachine`] is the single per-packet body both executors drive.
+//! It owns a station's defense schedule (`(session-relative second,
+//! pipeline)` phases), its per-sub-flow windower bank and its phase
+//! counters; [`offer`](StationMachine::offer) advances the schedule and
+//! processes one packet, [`finish`](StationMachine::finish) flushes the
+//! running phase and returns the [`ScheduledReport`]. Because the machine is
+//! fed one packet at a time, the pooled executor (station-at-a-time) and the
+//! virtual-time executor (packets interleaved across stations on a global
+//! clock) produce bit-identical per-station reports — stations share no
+//! mutable state, so interleaving cannot leak between them.
+
+use classifier::ensemble::AdversaryEnsemble;
+use classifier::online::{PrequentialEvaluator, SegmentStats};
+use classifier::stream::{FlowWindowers, WindowExample};
+use classifier::window::{FeatureMode, DEFAULT_MIN_PACKETS};
+use defenses::overhead::Overhead;
+use defenses::stage::StagePipeline;
+use traffic_gen::app::AppKind;
+use traffic_gen::packet::PacketRecord;
+use wlan_sim::time::SimDuration;
+
+/// Scores the windows a scheduled station closes. Both adversary modes
+/// implement it: the frozen batch ensemble ([`FrozenScorer`]) and the live
+/// prequential evaluator (which tests-then-trains and reports per-phase
+/// [`SegmentStats`]).
+pub trait WindowScorer {
+    /// Scores one window example, returning the predicted class.
+    fn score(&mut self, example: &WindowExample) -> usize;
+
+    /// Called when a phase ends (splice boundary or session end); live
+    /// scorers return the prequential counts of the finished phase.
+    fn end_phase(&mut self) -> Option<SegmentStats> {
+        None
+    }
+}
+
+/// A frozen batch ensemble as a [`WindowScorer`] (majority vote, no
+/// learning).
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenScorer<'a>(pub &'a AdversaryEnsemble);
+
+impl WindowScorer for FrozenScorer<'_> {
+    fn score(&mut self, example: &WindowExample) -> usize {
+        self.0.predict_majority(&example.0)
+    }
+}
+
+impl WindowScorer for PrequentialEvaluator {
+    fn score(&mut self, example: &WindowExample) -> usize {
+        self.absorb(example)
+    }
+
+    fn end_phase(&mut self) -> Option<SegmentStats> {
+        Some(self.take_segment())
+    }
+}
+
+/// What one phase of a station's defense schedule looked like to the
+/// adversary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Session-relative second the phase's pipeline took over.
+    pub from_secs: f64,
+    /// Windows closed (and scored) during the phase.
+    pub windows: u64,
+    /// Windows the adversary identified correctly during the phase.
+    pub windows_identified: u64,
+    /// The phase pipeline's overhead ledger.
+    pub overhead: Overhead,
+    /// Prequential counts of the phase (live scorers only).
+    pub segment: Option<SegmentStats>,
+}
+
+/// The record of one station streamed through a defense **schedule**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledReport {
+    /// The station's ground-truth application.
+    pub app: AppKind,
+    /// Packets pulled from the station's source.
+    pub packets: u64,
+    /// One report per scheduled phase, in schedule order. Phases scheduled
+    /// past the end of the session report zero windows.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl ScheduledReport {
+    /// Windows scored across all phases.
+    pub fn windows(&self) -> u64 {
+        self.phases.iter().map(|p| p.windows).sum()
+    }
+
+    /// Correctly identified windows across all phases.
+    pub fn windows_identified(&self) -> u64 {
+        self.phases.iter().map(|p| p.windows_identified).sum()
+    }
+
+    /// The adversary's whole-session recognition rate (0 when no windows).
+    pub fn identification_rate(&self) -> f64 {
+        let windows = self.windows();
+        if windows == 0 {
+            0.0
+        } else {
+            self.windows_identified() as f64 / windows as f64
+        }
+    }
+
+    /// The combined overhead ledger of every phase pipeline.
+    pub fn overhead(&self) -> Overhead {
+        self.phases
+            .iter()
+            .fold(Overhead::default(), |acc, p| acc.combined(&p.overhead))
+    }
+}
+
+/// Scores one closed window and folds it into the phase counters — the one
+/// scoring rule every site of the machine shares.
+fn score_window(
+    scorer: &mut dyn WindowScorer,
+    example: &WindowExample,
+    windows: &mut u64,
+    hits: &mut u64,
+) {
+    *windows += 1;
+    if scorer.score(example) == example.1 {
+        *hits += 1;
+    }
+}
+
+/// Closes the running phase: flushes its pipeline through the windower bank,
+/// closes every trailing window, and scores what falls out.
+fn close_phase(
+    pipeline: &mut StagePipeline,
+    windowers: &mut FlowWindowers,
+    scorer: &mut dyn WindowScorer,
+    windows: &mut u64,
+    hits: &mut u64,
+) {
+    pipeline.finish(|flow, packet| {
+        if let Some(example) = windowers.push(flow as usize, packet) {
+            score_window(scorer, &example, windows, hits);
+        }
+    });
+    for example in windowers.finish() {
+        score_window(scorer, &example, windows, hits);
+    }
+}
+
+/// One station's evaluation, driven one packet at a time.
+///
+/// The machine holds everything a running station needs — schedule, the
+/// active phase's pipeline, windower bank, counters — and nothing about the
+/// packet source, which stays with the caller. That split is what lets the
+/// virtual-time executor interleave thousands of machines on one clock while
+/// each holds only O(stages + sub-flows) state.
+#[derive(Debug)]
+pub(crate) struct StationMachine {
+    app: AppKind,
+    phases: Vec<(f64, StagePipeline)>,
+    index: usize,
+    window: SimDuration,
+    mode: FeatureMode,
+    windowers: FlowWindowers,
+    reports: Vec<PhaseReport>,
+    windows: u64,
+    hits: u64,
+    packets: u64,
+}
+
+impl StationMachine {
+    /// Creates the machine over a non-empty phase schedule.
+    pub(crate) fn new(
+        app: AppKind,
+        phases: Vec<(f64, StagePipeline)>,
+        window: SimDuration,
+        mode: FeatureMode,
+    ) -> Self {
+        assert!(!phases.is_empty(), "a schedule needs at least one phase");
+        StationMachine {
+            app,
+            phases,
+            index: 0,
+            window,
+            mode,
+            windowers: FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, mode, app),
+            reports: Vec::new(),
+            windows: 0,
+            hits: 0,
+            packets: 0,
+        }
+    }
+
+    /// Feeds one packet: splices in every phase whose time has come
+    /// (possibly several between two packets), then runs the packet through
+    /// the active pipeline into the windower bank, scoring whatever closes.
+    pub(crate) fn offer(&mut self, packet: &PacketRecord, scorer: &mut dyn WindowScorer) {
+        let now = packet.time.as_secs_f64();
+        while self.index + 1 < self.phases.len() && now >= self.phases[self.index + 1].0 {
+            close_phase(
+                &mut self.phases[self.index].1,
+                &mut self.windowers,
+                scorer,
+                &mut self.windows,
+                &mut self.hits,
+            );
+            self.reports.push(PhaseReport {
+                from_secs: self.phases[self.index].0,
+                windows: self.windows,
+                windows_identified: self.hits,
+                overhead: self.phases[self.index].1.overhead(),
+                segment: scorer.end_phase(),
+            });
+            self.windows = 0;
+            self.hits = 0;
+            self.windowers =
+                FlowWindowers::for_app(self.window, DEFAULT_MIN_PACKETS, self.mode, self.app);
+            self.index += 1;
+        }
+        self.packets += 1;
+        let pipeline = &mut self.phases[self.index].1;
+        let windowers = &mut self.windowers;
+        let windows = &mut self.windows;
+        let hits = &mut self.hits;
+        pipeline.process(packet, |flow, staged| {
+            if let Some(example) = windowers.push(flow as usize, staged) {
+                score_window(scorer, &example, windows, hits);
+            }
+        });
+    }
+
+    /// Session end: closes the running phase, reports any phase scheduled
+    /// past the end as empty, and returns the station's report.
+    pub(crate) fn finish(mut self, scorer: &mut dyn WindowScorer) -> ScheduledReport {
+        close_phase(
+            &mut self.phases[self.index].1,
+            &mut self.windowers,
+            scorer,
+            &mut self.windows,
+            &mut self.hits,
+        );
+        self.reports.push(PhaseReport {
+            from_secs: self.phases[self.index].0,
+            windows: self.windows,
+            windows_identified: self.hits,
+            overhead: self.phases[self.index].1.overhead(),
+            segment: scorer.end_phase(),
+        });
+        for (from_secs, pipeline) in self.phases.into_iter().skip(self.index + 1) {
+            self.reports.push(PhaseReport {
+                from_secs,
+                windows: 0,
+                windows_identified: 0,
+                overhead: pipeline.overhead(),
+                segment: scorer.end_phase(),
+            });
+        }
+        ScheduledReport {
+            app: self.app,
+            packets: self.packets,
+            phases: self.reports,
+        }
+    }
+}

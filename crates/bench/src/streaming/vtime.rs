@@ -1,0 +1,435 @@
+//! The execution substrate: the work-stealing pool and the virtual-time
+//! discrete-event core, behind one [`Executor`] selector.
+//!
+//! [`Executor::Pooled`] is the historical strategy: each station runs to
+//! completion on the bounded work-stealing pool — maximum throughput for
+//! populations whose stations never need to coexist in time.
+//!
+//! [`Executor::VirtualTime`] is the discrete-event core: stations are
+//! sharded across workers (station *i* on worker *i* mod *W*), and each
+//! worker drives a **binary event heap keyed on virtual timestamps**. A
+//! station is represented by an *admission event* at its wall-clock arrival
+//! until that event fires — no generator, pipeline or windower state exists
+//! before admission — and afterwards by a single *next-packet event* whose
+//! timestamp is peeked from its lazy source. When a source is exhausted the
+//! station retires and every byte of its state drops. Peak memory is
+//! therefore O(active stations), not O(population): a million-station day
+//! can stream through a heap that never holds more than the few thousand
+//! stations on air at once (`scenarios/metropolis.toml` is the committed
+//! proof).
+//!
+//! Stations are mutually independent (the shared adversary is only read;
+//! live scorers are per-station forks), so per-station reports are
+//! **bit-identical** between both executors and any worker count — the
+//! equivalence the proptests in `tests/executor_equivalence.rs` enforce.
+//! The cross-shard view is deterministic too: every worker logs its
+//! admissions and retirements with their virtual timestamps, and the logs
+//! are merge-sorted on `(time, station, kind)` after the join — a canonical
+//! global timeline (and its peak-active statistic in [`ExecutorStats`])
+//! that is the same for 1, 2 or 8 workers, because each record's timestamp
+//! derives from the station alone, never from scheduling.
+
+use super::machine::{ScheduledReport, WindowScorer};
+use super::run::StationRun;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// The bounded work-stealing pool shared by the batch and online station
+/// runners (and the scenario engine): at most `available_parallelism`
+/// workers steal the next unprocessed index from a shared atomic queue and
+/// run `body` on it. Results come back in index order.
+pub(crate) fn pooled<T: Send>(count: usize, body: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let workers = default_parallelism().min(count.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = body(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every stolen index produced a result")
+        })
+        .collect()
+}
+
+/// The machine's available parallelism (8 when unknown).
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8)
+}
+
+/// How a population of [`StationRun`]s executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Executor {
+    /// Run each station to completion on the bounded work-stealing pool.
+    #[default]
+    Pooled,
+    /// Interleave stations on per-worker virtual-time event heaps, admitting
+    /// and retiring them by schedule with O(active stations) memory.
+    VirtualTime {
+        /// Worker (shard) count; the machine's parallelism when `None`.
+        /// Reports are identical for every worker count.
+        workers: Option<usize>,
+    },
+}
+
+impl Executor {
+    /// The default virtual-time executor (parallelism-sized shard count).
+    pub fn virtual_time() -> Self {
+        Executor::VirtualTime { workers: None }
+    }
+
+    /// The executor's spec tag (`"pooled"` / `"virtual_time"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Executor::Pooled => "pooled",
+            Executor::VirtualTime { .. } => "virtual_time",
+        }
+    }
+
+    /// Parses a spec tag.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "pooled" | "pool" => Ok(Executor::Pooled),
+            "virtual_time" | "virtual-time" | "vtime" | "event" => Ok(Executor::virtual_time()),
+            other => Err(format!(
+                "unknown executor `{other}` (expected `pooled` or `virtual_time`)"
+            )),
+        }
+    }
+}
+
+/// Scheduling statistics of one execution. Deliberately **not** part of any
+/// scenario report: reports must be identical across executors, while these
+/// describe how the run was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorStats {
+    /// Workers (pool threads or virtual-time shards) used.
+    pub workers: usize,
+    /// Stations admitted (the whole population).
+    pub admitted: usize,
+    /// Most stations simultaneously on air, from the merged cross-shard
+    /// timeline (virtual time); the worker count under the pool, which keeps
+    /// at most one station live per worker.
+    pub peak_active: usize,
+    /// Last virtual second of the run (0 under the pool, which has no
+    /// common clock).
+    pub virtual_secs: f64,
+}
+
+/// A population's execution: per-station results in station order, plus the
+/// scheduling statistics.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome<T> {
+    /// One result per station, in station (not completion) order.
+    pub results: Vec<T>,
+    /// How the run was scheduled.
+    pub stats: ExecutorStats,
+}
+
+/// One entry of a shard's admission/retirement log: `(virtual second,
+/// station index, +1 admit / -1 retire)`.
+#[derive(Debug, Clone, Copy)]
+struct ChurnRecord {
+    at_secs: f64,
+    station: usize,
+    delta: i8,
+}
+
+/// An event in a shard's heap, ordered by `(time, station, kind)` with
+/// admissions before packets at equal timestamps. `BinaryHeap` is a
+/// max-heap, so `Ord` is reversed here to pop the earliest event first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    at_secs: f64,
+    station: usize,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Admit,
+    Packet,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at_secs
+            .total_cmp(&other.at_secs)
+            .then_with(|| self.station.cmp(&other.station))
+            .then_with(|| self.kind.cmp(&other.kind))
+            .reverse()
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Executor {
+    /// Executes a population of `count` stations.
+    ///
+    /// * `run_of(i)` describes station `i` — it must be cheap and
+    ///   deterministic (the virtual-time executor calls it once to learn the
+    ///   arrival time and once at admission, so descriptions are never held
+    ///   for inactive stations);
+    /// * `scorer_of(i)` creates station `i`'s scorer (a frozen borrow or a
+    ///   live per-station fork);
+    /// * `finish(i, report, scorer)` folds a finished station into the
+    ///   caller's result type.
+    ///
+    /// Per-station results are identical whichever executor (and worker
+    /// count) runs them: stations share no mutable state, and each one sees
+    /// exactly its own packets in order.
+    pub fn run<'a, S, T>(
+        &self,
+        count: usize,
+        run_of: impl Fn(usize) -> StationRun<'a> + Sync,
+        scorer_of: impl Fn(usize) -> S + Sync,
+        finish: impl Fn(usize, ScheduledReport, S) -> T + Sync,
+    ) -> Result<ExecutionOutcome<T>, String>
+    where
+        S: WindowScorer,
+        T: Send,
+    {
+        match *self {
+            Executor::Pooled => {
+                let results: Result<Vec<T>, String> = pooled(count, |i| {
+                    let mut scorer = scorer_of(i);
+                    let report = run_of(i).run(&mut scorer)?;
+                    Ok(finish(i, report, scorer))
+                })
+                .into_iter()
+                .collect();
+                let workers = default_parallelism().min(count.max(1));
+                Ok(ExecutionOutcome {
+                    results: results?,
+                    stats: ExecutorStats {
+                        workers,
+                        admitted: count,
+                        peak_active: workers.min(count),
+                        virtual_secs: 0.0,
+                    },
+                })
+            }
+            Executor::VirtualTime { workers } => {
+                let workers = workers.unwrap_or_else(default_parallelism).max(1);
+                virtual_time(workers, count, &run_of, &scorer_of, &finish)
+            }
+        }
+    }
+}
+
+/// The virtual-time core: per-worker event heaps over station shards, then
+/// a deterministic merge of the per-shard churn logs.
+fn virtual_time<'a, S, T>(
+    workers: usize,
+    count: usize,
+    run_of: &(impl Fn(usize) -> StationRun<'a> + Sync),
+    scorer_of: &(impl Fn(usize) -> S + Sync),
+    finish: &(impl Fn(usize, ScheduledReport, S) -> T + Sync),
+) -> Result<ExecutionOutcome<T>, String>
+where
+    S: WindowScorer,
+    T: Send,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let logs: Vec<Mutex<Vec<ChurnRecord>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    // The first error by station index, so failures are deterministic too.
+    let first_error: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let slots = &slots;
+            let logs = &logs;
+            let first_error = &first_error;
+            scope.spawn(move || {
+                let result = drive_shard(worker, workers, count, run_of, scorer_of, finish, slots);
+                match result {
+                    Ok(log) => *logs[worker].lock().expect("log poisoned") = log,
+                    Err((station, e)) => {
+                        let mut slot = first_error.lock().expect("error slot poisoned");
+                        if slot.as_ref().is_none_or(|(s, _)| station < *s) {
+                            *slot = Some((station, e));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((station, e)) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(format!("station {station}: {e}"));
+    }
+    // Deterministic cross-shard time merging: the union of the per-shard
+    // logs is the same multiset for every worker count (each record's
+    // timestamp derives from its station alone), so sorting it on
+    // (time, station, admit-before-retire) yields one canonical timeline.
+    let mut timeline: Vec<ChurnRecord> = Vec::with_capacity(2 * count);
+    for log in logs {
+        timeline.extend(log.into_inner().expect("log poisoned"));
+    }
+    timeline.sort_by(|a, b| {
+        a.at_secs
+            .total_cmp(&b.at_secs)
+            .then_with(|| a.station.cmp(&b.station))
+            .then_with(|| b.delta.cmp(&a.delta))
+    });
+    let mut active = 0usize;
+    let mut peak_active = 0usize;
+    let mut virtual_secs = 0.0f64;
+    for record in &timeline {
+        if record.delta > 0 {
+            active += 1;
+            peak_active = peak_active.max(active);
+        } else {
+            active -= 1;
+        }
+        virtual_secs = virtual_secs.max(record.at_secs);
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every admitted station produced a result")
+        })
+        .collect();
+    Ok(ExecutionOutcome {
+        results,
+        stats: ExecutorStats {
+            workers,
+            admitted: count,
+            peak_active,
+            virtual_secs,
+        },
+    })
+}
+
+/// Drives one shard's heap to exhaustion. Returns the shard's churn log, or
+/// the lowest-index station whose admission failed.
+fn drive_shard<'a, S, T>(
+    worker: usize,
+    workers: usize,
+    count: usize,
+    run_of: &impl Fn(usize) -> StationRun<'a>,
+    scorer_of: &impl Fn(usize) -> S,
+    finish: &impl Fn(usize, ScheduledReport, S) -> T,
+    slots: &[Mutex<Option<T>>],
+) -> Result<Vec<ChurnRecord>, (usize, String)>
+where
+    S: WindowScorer,
+{
+    // One live station per entry; station i lives at local slot (i - worker)
+    // / workers. A `None` is 8 bytes of bookkeeping — the O(population)
+    // floor — while the boxed state behind a `Some` is the O(active) part.
+    let shard_len = count.saturating_sub(worker).div_ceil(workers.max(1));
+    let mut live: Vec<Option<Box<LiveStation<'a, S>>>> = Vec::new();
+    live.resize_with(shard_len, || None);
+    let local = |station: usize| (station - worker) / workers;
+    // Seed the heap with one admission event per station of the shard. The
+    // run description is dropped immediately: until admission a station
+    // costs 16 bytes of heap entry, nothing more.
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(shard_len);
+    for station in (worker..count).step_by(workers.max(1)) {
+        heap.push(Event {
+            at_secs: run_of(station).arrival(),
+            station,
+            kind: EventKind::Admit,
+        });
+    }
+    let mut log: Vec<ChurnRecord> = Vec::with_capacity(2 * shard_len);
+    while let Some(event) = heap.pop() {
+        match event.kind {
+            EventKind::Admit => {
+                let admitted = run_of(event.station)
+                    .admit()
+                    .map_err(|e| (event.station, e))?;
+                let mut station = Box::new(LiveStation {
+                    inner: admitted,
+                    scorer: scorer_of(event.station),
+                });
+                log.push(ChurnRecord {
+                    at_secs: event.at_secs,
+                    station: event.station,
+                    delta: 1,
+                });
+                match station.inner.next_wall_secs() {
+                    Some(at_secs) => {
+                        heap.push(Event {
+                            at_secs,
+                            station: event.station,
+                            kind: EventKind::Packet,
+                        });
+                        live[local(event.station)] = Some(station);
+                    }
+                    // A station with no packets retires the moment it
+                    // arrives.
+                    None => retire(event, *station, finish, slots, &mut log),
+                }
+            }
+            EventKind::Packet => {
+                let slot = &mut live[local(event.station)];
+                let station = slot.as_mut().expect("packet event for a live station");
+                station.inner.step(&mut station.scorer);
+                match station.inner.next_wall_secs() {
+                    Some(at_secs) => heap.push(Event {
+                        at_secs,
+                        station: event.station,
+                        kind: EventKind::Packet,
+                    }),
+                    None => {
+                        let station = slot.take().expect("retiring a live station");
+                        retire(event, *station, finish, slots, &mut log);
+                    }
+                }
+            }
+        }
+    }
+    Ok(log)
+}
+
+/// A station on air: its admitted machine/source plus its own scorer.
+struct LiveStation<'a, S> {
+    inner: super::run::AdmittedStation<'a>,
+    scorer: S,
+}
+
+/// Retires a station at `event.at_secs`: finishes its machine, stores its
+/// result, logs the departure, and drops every byte of its state.
+fn retire<'a, S, T>(
+    event: Event,
+    station: LiveStation<'a, S>,
+    finish: &impl Fn(usize, ScheduledReport, S) -> T,
+    slots: &[Mutex<Option<T>>],
+    log: &mut Vec<ChurnRecord>,
+) where
+    S: WindowScorer,
+{
+    let LiveStation { inner, mut scorer } = station;
+    let report = inner.finish(&mut scorer);
+    *slots[event.station].lock().expect("result slot poisoned") =
+        Some(finish(event.station, report, scorer));
+    log.push(ChurnRecord {
+        at_secs: event.at_secs,
+        station: event.station,
+        delta: -1,
+    });
+}

@@ -1,0 +1,115 @@
+//! The virtual-time event core's acceptance contract.
+//!
+//! 1. For every committed spec under `scenarios/` — reduced to a handful of
+//!    stations so the property is cheap to check — the virtual-time executor
+//!    reproduces the work-stealing pool's `ScenarioReport` **bit for bit**,
+//!    at 1, 2, and 8 workers, for arbitrary scenario seeds (proptest).
+//! 2. The executor admits every station but only ever holds the stations
+//!    whose intervals overlap (`peak_active` ≪ population) — the
+//!    O(active stations) memory claim, asserted on the reduced metropolis
+//!    family.
+//!
+//! Together these license `executor = "virtual_time"` in any committed
+//! spec: it changes how a scenario is scheduled, never what it reports.
+
+use bench::scenario::{
+    default_scenarios_dir, execute_scenario, load_spec, spec_files, train_for, ScenarioSpec,
+};
+use bench::Executor;
+use proptest::prelude::*;
+
+/// Shrinks a committed spec to an equivalence-test size: at most `target`
+/// stations (group counts scaled proportionally), sessions capped at 30 s,
+/// and events aimed at stations that no longer exist dropped. Everything
+/// else — defenses, staggers, adversary, window — stays as committed.
+fn reduced(mut spec: ScenarioSpec, target: usize) -> ScenarioSpec {
+    let total: usize = spec.stations.iter().map(|g| g.count).sum();
+    if total > target {
+        for group in &mut spec.stations {
+            group.count = (group.count * target / total).max(1);
+        }
+    }
+    let total: usize = spec.stations.iter().map(|g| g.count).sum();
+    for group in &mut spec.stations {
+        group.secs = group.secs.min(30.0);
+    }
+    spec.events
+        .retain(|event| event.station.is_none_or(|s| s < total));
+    spec
+}
+
+proptest! {
+    // Each case re-trains an adversary per scenario family, so a handful of
+    // cases is already hundreds of station sessions.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn virtual_time_reproduces_the_pool_on_every_committed_family(seed in 0u64..10_000) {
+        let files = spec_files(&default_scenarios_dir()).expect("scenarios/ exists");
+        prop_assert!(files.len() >= 5, "expected the committed families, found {files:?}");
+        for file in files {
+            let mut spec = reduced(load_spec(&file).unwrap_or_else(|e| panic!("{e}")), 8);
+            spec.seed = seed;
+            let scenario = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{}: reduced spec must build: {e}", file.display()));
+            let adversary = train_for(&scenario);
+            let (pool_report, _) = execute_scenario(&scenario, &adversary, Executor::Pooled)
+                .unwrap_or_else(|e| panic!("{}: pool run: {e}", file.display()));
+            for workers in [1usize, 2, 8] {
+                let executor = Executor::VirtualTime {
+                    workers: Some(workers),
+                };
+                let (vt_report, stats) = execute_scenario(&scenario, &adversary, executor)
+                    .unwrap_or_else(|e| panic!("{}: virtual-time run: {e}", file.display()));
+                prop_assert!(
+                    vt_report == pool_report,
+                    "{}: seed {} diverged at {} workers",
+                    file.display(),
+                    seed,
+                    workers
+                );
+                prop_assert_eq!(stats.admitted, scenario.station_count());
+            }
+        }
+    }
+}
+
+#[test]
+fn the_event_core_holds_only_the_overlapping_stations() {
+    // The metropolis family reduced to 60 stations, with the stagger
+    // stretched so sessions barely overlap: a 20 s session every 10 s means
+    // at most a few stations are ever live together, out of 60 admitted.
+    let path = default_scenarios_dir().join("metropolis.toml");
+    let mut spec = reduced(load_spec(&path).unwrap_or_else(|e| panic!("{e}")), 60);
+    for group in &mut spec.stations {
+        group.stagger_secs = 10.0;
+    }
+    // The committed events are scheduled against the 10 ms stagger; against
+    // the stretched one they'd fire outside their stations' intervals.
+    spec.events.clear();
+    let scenario = spec.build().expect("stretched metropolis builds");
+    let total = scenario.station_count();
+    assert!(
+        total >= 50,
+        "reduction kept a meaningful population: {total}"
+    );
+    let adversary = train_for(&scenario);
+    let (report, stats) = execute_scenario(&scenario, &adversary, Executor::virtual_time())
+        .expect("virtual-time run");
+    assert_eq!(stats.admitted, total, "every station was admitted");
+    assert!(
+        stats.peak_active <= 8,
+        "only overlapping sessions are live at once, got peak_active = {}",
+        stats.peak_active
+    );
+    assert!(
+        stats.virtual_secs > 500.0,
+        "the virtual clock spans the stagger"
+    );
+    // And the schedule-aware execution still reports exactly what the pool
+    // reports station by station.
+    let (pool_report, _) =
+        execute_scenario(&scenario, &adversary, Executor::Pooled).expect("pool run");
+    assert_eq!(report, pool_report);
+}

@@ -41,7 +41,7 @@ fn every_committed_scenario_spec_parses_and_builds() {
         let scenario = spec
             .build()
             .unwrap_or_else(|e| panic!("{}: {e}", file.display()));
-        assert!(!scenario.stations.is_empty(), "{}", file.display());
+        assert!(scenario.station_count() > 0, "{}", file.display());
     }
 }
 
@@ -58,8 +58,7 @@ fn throughput_baseline_spec_pins_the_historical_bench_json_workload() {
     assert_eq!(scenario.adversary.mode, AdversaryMode::Batch);
     assert_eq!(scenario.adversary.train, ExperimentConfig::quick());
     let kinds: Vec<DefenseKind> = scenario
-        .stations
-        .iter()
+        .stations()
         .map(|s| s.defense.as_kind().expect("shorthand kinds"))
         .collect();
     assert_eq!(
@@ -70,7 +69,7 @@ fn throughput_baseline_spec_pins_the_historical_bench_json_workload() {
             DefenseKind::MorphThenReshape
         ]
     );
-    for station in &scenario.stations {
+    for station in scenario.stations() {
         assert_eq!(station.traffic.app, AppKind::BitTorrent);
         assert_eq!(station.traffic.seed, 1);
         assert_eq!(station.traffic.secs, Some(60.0));
@@ -78,7 +77,7 @@ fn throughput_baseline_spec_pins_the_historical_bench_json_workload() {
     }
     // The spec'd trace is the historical workload trace, packet for packet.
     assert_eq!(
-        scenario.stations[0].traffic.trace(),
+        scenario.station(0).traffic.trace(),
         SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(60.0)
     );
 }

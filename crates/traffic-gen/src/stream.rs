@@ -59,6 +59,66 @@ impl<S: PacketSource + ?Sized> PacketSource for &mut S {
     }
 }
 
+impl<S: PacketSource + ?Sized> PacketSource for Box<S> {
+    fn next_packet(&mut self) -> Option<PacketRecord> {
+        (**self).next_packet()
+    }
+
+    fn label(&self) -> Option<AppKind> {
+        (**self).label()
+    }
+}
+
+/// A [`PacketSource`] with one packet of lookahead: the next event's
+/// timestamp can be inspected without consuming the packet.
+///
+/// This is the primitive the virtual-time executor schedules on — an active
+/// station is represented in the event heap only by the wall-clock time of
+/// its next packet, held here, while inactive stations hold no source (and
+/// therefore no buffered state) at all. The buffered packet is re-emitted by
+/// [`next_packet`](PacketSource::next_packet) in order, so wrapping a source
+/// never changes the stream.
+#[derive(Debug, Clone)]
+pub struct PeekableSource<S> {
+    inner: S,
+    slot: Option<PacketRecord>,
+}
+
+impl<S: PacketSource> PeekableSource<S> {
+    /// Wraps a source; nothing is pulled until the first peek or pull.
+    pub fn new(inner: S) -> Self {
+        PeekableSource { inner, slot: None }
+    }
+
+    /// The next packet, without consuming it (`None` once exhausted).
+    pub fn peek(&mut self) -> Option<&PacketRecord> {
+        if self.slot.is_none() {
+            self.slot = self.inner.next_packet();
+        }
+        self.slot.as_ref()
+    }
+
+    /// The timestamp of the next packet, in seconds from the stream origin.
+    pub fn next_time_secs(&mut self) -> Option<f64> {
+        self.peek().map(|p| p.time.as_secs_f64())
+    }
+
+    /// Unwraps the inner source (the buffered packet, if any, is dropped).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PacketSource> PacketSource for PeekableSource<S> {
+    fn next_packet(&mut self) -> Option<PacketRecord> {
+        self.slot.take().or_else(|| self.inner.next_packet())
+    }
+
+    fn label(&self) -> Option<AppKind> {
+        self.inner.label()
+    }
+}
+
 /// A [`PacketSource`] view over a batch [`Trace`].
 ///
 /// Used to drive streaming stages with pre-recorded packets — in particular
@@ -485,5 +545,37 @@ mod tests {
     #[should_panic(expected = "unbounded streaming session")]
     fn collecting_an_unbounded_session_panics() {
         let _ = StreamingSession::unbounded(AppKind::Video, 1).collect_trace();
+    }
+
+    #[test]
+    fn peeking_never_perturbs_the_stream() {
+        let direct: Vec<PacketRecord> =
+            StreamingSession::bounded(AppKind::Gaming, 4, 10.0).collect();
+        let mut peeked = PeekableSource::new(StreamingSession::bounded(AppKind::Gaming, 4, 10.0));
+        assert_eq!(peeked.label(), Some(AppKind::Gaming));
+        let mut replayed = Vec::new();
+        while let Some(&next) = peeked.peek() {
+            // Peeking twice is idempotent, and the peeked packet is exactly
+            // what the next pull returns.
+            assert_eq!(peeked.next_time_secs(), Some(next.time.as_secs_f64()));
+            assert_eq!(peeked.next_packet(), Some(next));
+            replayed.push(next);
+        }
+        assert_eq!(replayed, direct);
+        assert_eq!(peeked.next_time_secs(), None, "exhausted stays exhausted");
+        assert_eq!(peeked.next_packet(), None);
+    }
+
+    #[test]
+    fn boxed_sources_forward_the_trait() {
+        let mut boxed: Box<dyn PacketSource> =
+            Box::new(StreamingSession::bounded(AppKind::Video, 2, 5.0));
+        assert_eq!(boxed.label(), Some(AppKind::Video));
+        let direct: Vec<PacketRecord> = StreamingSession::bounded(AppKind::Video, 2, 5.0).collect();
+        let mut pulled = Vec::new();
+        while let Some(p) = boxed.next_packet() {
+            pulled.push(p);
+        }
+        assert_eq!(pulled, direct);
     }
 }
