@@ -1,6 +1,6 @@
 # Local targets mirroring the CI jobs so local and CI runs are identical.
 
-.PHONY: verify build test fmt lint bench-compile bench-json scenario-check scenario-json examples ci
+.PHONY: verify build test fmt lint bench-compile bench-json stage-bench scenario-check scenario-json examples ci
 
 # The tier-1 gate: exactly what the driver and the CI `test` job run.
 verify:
@@ -25,6 +25,14 @@ bench-compile:
 # committed BENCH_pipeline.json. Non-blocking in CI.
 bench-json:
 	cargo run --release -p bench --bin bench_json BENCH_pipeline.json
+
+# Per-stage throughput profile: measures every defense stage in isolation
+# plus the defended end-to-end paths, writes stage-throughput.json, and
+# prints non-blocking per-stage diff lines against the committed
+# BENCH_pipeline.json (ratios < 0.8 are flagged "REGRESSION?"). Override
+# STAGE_BENCH_WARMUP / STAGE_BENCH_ITERS to trade accuracy for speed.
+stage-bench:
+	cargo run --release -p bench --bin stage_throughput -- --out stage-throughput.json --diff BENCH_pipeline.json
 
 # Validates every committed scenario spec (parse + compile). CI gates on it,
 # so a malformed spec under scenarios/ fails the build. Debug profile: the

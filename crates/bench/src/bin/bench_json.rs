@@ -41,10 +41,10 @@ use bench::pipeline::{
 use bench::scenario::{
     default_scenarios_dir, execute_scenario, load_spec, run_scenario, train_for, Scenario,
 };
+use bench::stagebench::{defended_station_pps, per_stage_throughput, MeasureOpts};
 use classifier::online::{OnlineAdversary, PrequentialEvaluator};
-use classifier::stream::{FlowWindowers, StreamingWindower};
+use classifier::stream::StreamingWindower;
 use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
-use defenses::spec::StageContext;
 use reshape_core::online::OnlineReshaper;
 use reshape_core::ranges::SizeRanges;
 use reshape_core::reshaper::Reshaper;
@@ -53,28 +53,8 @@ use traffic_gen::stream::PacketSource;
 use traffic_gen::trace::Trace;
 use wlan_sim::time::SimDuration;
 
-const WARMUP_ITERS: usize = 3;
-const MEASURE_ITERS: usize = 15;
-
 fn or_scheduler() -> Box<OrthogonalRanges> {
     Box::new(OrthogonalRanges::new(SizeRanges::paper_default()))
-}
-
-/// Best-of-N packets/second for one pipeline body.
-fn measure<F: FnMut() -> usize>(mut body: F) -> (f64, usize) {
-    let mut packets = 0;
-    for _ in 0..WARMUP_ITERS {
-        packets = body();
-    }
-    let mut best_pps = 0.0f64;
-    for _ in 0..MEASURE_ITERS {
-        let start = std::time::Instant::now();
-        let n = body();
-        let secs = start.elapsed().as_secs_f64().max(1e-9);
-        best_pps = best_pps.max(n as f64 / secs);
-        packets = n;
-    }
-    (best_pps, packets)
 }
 
 /// Batch reshape: whole-trace partition into sub-traces + assignment log.
@@ -133,29 +113,6 @@ fn streaming_evaluate(trace: &Trace, window: SimDuration) -> usize {
             examples += 1;
         }
     }
-    std::hint::black_box(examples);
-    trace.len()
-}
-
-/// Defended streaming evaluation: one pass through a defense stage pipeline
-/// into per-sub-flow windowers. The pipeline is built once and `reset`
-/// between iterations, so the measurement covers the steady-state per-packet
-/// cost of the stages, not calibration-trace generation.
-fn defended_streaming_evaluate(
-    trace: &Trace,
-    window: SimDuration,
-    pipeline: &mut defenses::stage::StagePipeline,
-) -> usize {
-    let app = trace.app().expect("bench trace is labelled");
-    pipeline.reset();
-    let mut windowers = FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
-    let mut examples = 0usize;
-    pipeline.run(&mut trace.stream(), |flow, packet| {
-        if windowers.push(flow as usize, packet).is_some() {
-            examples += 1;
-        }
-    });
-    examples += windowers.finish().len();
     std::hint::black_box(examples);
     trace.len()
 }
@@ -265,11 +222,13 @@ fn main() {
     let station = baseline.station(0);
     let trace = station.traffic.trace();
     let window = baseline.window;
+    let opts = MeasureOpts::from_env();
+    let measure = |body: &mut dyn FnMut() -> usize| bench::stagebench::measure(opts, body);
 
-    let (reshape_batch_pps, packets) = measure(|| batch_reshape(&trace));
-    let (reshape_streaming_pps, _) = measure(|| streaming_reshape(&trace));
-    let (eval_batch_pps, _) = measure(|| batch_evaluate(&trace, window));
-    let (eval_streaming_pps, _) = measure(|| streaming_evaluate(&trace, window));
+    let (reshape_batch_pps, packets) = measure(&mut || batch_reshape(&trace));
+    let (reshape_streaming_pps, _) = measure(&mut || streaming_reshape(&trace));
+    let (eval_batch_pps, _) = measure(&mut || batch_evaluate(&trace, window));
+    let (eval_streaming_pps, _) = measure(&mut || streaming_evaluate(&trace, window));
 
     // Defended streaming throughput: the spec'd stations' pipelines, built
     // once through the scenario engine (source CDF from that station's own
@@ -277,37 +236,34 @@ fn main() {
     // committed spec gives every station the same traffic, so each station
     // trace equals the reshape workload trace — but the measurement honours
     // whatever the spec says.
-    let defended = |index: usize| {
-        let station = baseline.station(index);
-        let station_trace = station.traffic.trace();
-        let ctx = StageContext {
-            app: station.traffic.app,
-            seed: station.traffic.seed,
-            calib_secs: baseline.calib_secs,
-            source: Some(&station_trace),
-        };
-        let mut pipeline = station
-            .defense
-            .build(&ctx, station.interfaces)
-            .expect("validated at build time");
-        let (pps, _) =
-            measure(|| defended_streaming_evaluate(&station_trace, window, &mut pipeline));
-        (pps, pipeline.overhead().percent())
-    };
-    let (defended_padding_pps, padding_overhead_pct) = defended(0);
-    let (defended_morphing_pps, morphing_overhead_pct) = defended(1);
-    let (defended_morph_or_pps, morph_or_overhead_pct) = defended(2);
+    let (defended_padding_pps, padding_overhead_pct) = defended_station_pps(&baseline, 0, opts);
+    let (defended_morphing_pps, morphing_overhead_pct) = defended_station_pps(&baseline, 1, opts);
+    let (defended_morph_or_pps, morph_or_overhead_pct) = defended_station_pps(&baseline, 2, opts);
+
+    // Per-stage isolation numbers: each defense stage alone over the same
+    // workload, so a regression in one kernel is visible before it drags the
+    // composed numbers down.
+    let stage_throughput = per_stage_throughput(
+        &trace,
+        window,
+        station.interfaces,
+        station.traffic.seed,
+        baseline.calib_secs,
+        opts,
+    );
 
     // Live-adversary throughput: windowing + test-then-train (train) and
     // windowing + frozen majority vote (predict) over the same workload.
     let config = baseline.adversary.train;
     let untrained = online_adversary(&config);
-    let (adversary_train_pps, _) = measure(|| adversary_train_evaluate(&trace, window, &untrained));
+    let (adversary_train_pps, _) =
+        measure(&mut || adversary_train_evaluate(&trace, window, &untrained));
     // One prequential warm-up pass serves both the predict measurement and
     // the online accuracy phases below.
     let warm_evaluator = train_adversary_online(&config, FeatureMode::Full);
     let warm = warm_evaluator.adversary().clone();
-    let (adversary_predict_pps, _) = measure(|| adversary_predict_evaluate(&trace, window, &warm));
+    let (adversary_predict_pps, _) =
+        measure(&mut || adversary_predict_evaluate(&trace, window, &warm));
 
     // Online-vs-batch adversary accuracy against the transforming and
     // composed defenses (mean accuracy, the paper's metric).
@@ -385,8 +341,10 @@ fn main() {
 
     let reshape_speedup = reshape_streaming_pps / reshape_batch_pps;
     let eval_speedup = eval_streaming_pps / eval_batch_pps;
+    let iterations = opts.iters;
+    let stage_fields = stage_throughput.json_fields();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {MEASURE_ITERS},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json},\n  \"metropolis_stations\": {metropolis_stations},\n  \"metropolis_stations_per_sec\": {metropolis_sps:.0},\n  \"metropolis_peak_active\": {metropolis_peak_active},\n  \"metropolis_peak_rss_bytes\": {metropolis_rss}\n}}\n"
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {iterations},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n{stage_fields},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json},\n  \"metropolis_stations\": {metropolis_stations},\n  \"metropolis_stations_per_sec\": {metropolis_sps:.0},\n  \"metropolis_peak_active\": {metropolis_peak_active},\n  \"metropolis_peak_rss_bytes\": {metropolis_rss}\n}}\n"
     );
     std::fs::write(&output, &json).expect("write baseline json");
     println!("{json}");

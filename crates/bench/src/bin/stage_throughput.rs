@@ -1,0 +1,95 @@
+//! Per-stage throughput measurement, standalone.
+//!
+//! ```text
+//! cargo run --release -p bench --bin stage_throughput -- \
+//!     [--out stage-throughput.json] [--diff BENCH_pipeline.json]
+//! ```
+//!
+//! Runs the per-stage measurement of [`bench::stagebench`] over the committed
+//! `scenarios/throughput_baseline.toml` workload: every defense stage in
+//! isolation (padding, morphing, pseudonym, FH, OR reshaping), the windower,
+//! and the three defended end-to-end pipelines the baseline tracks. Writes
+//! the result as JSON (`--out`) and, with `--diff`, prints a **non-blocking**
+//! per-stage comparison against the committed `BENCH_pipeline.json` so
+//! stage-level regressions show up in PR logs without gating on noisy CI
+//! runners.
+//!
+//! `STAGE_BENCH_WARMUP` / `STAGE_BENCH_ITERS` dial the iteration counts down
+//! for the CI smoke step; defaults match the full `bench_json` measurement.
+//! This is also the local profiling entry point: build with `--release`,
+//! point `perf record` (or any sampling profiler) at this bin, and the hot
+//! stage dominates its own single-stage measurement loop.
+
+use bench::scenario::{default_scenarios_dir, load_spec};
+use bench::stagebench::{defended_station_pps, diff_report, per_stage_throughput, MeasureOpts};
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut diff_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--diff" => diff_path = args.next(),
+            other => {
+                eprintln!("unknown argument {other:?} (expected --out FILE / --diff FILE)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let opts = MeasureOpts::from_env();
+    let path = default_scenarios_dir().join("throughput_baseline.toml");
+    let scenario = load_spec(&path)
+        .and_then(|spec| spec.build())
+        .unwrap_or_else(|e| panic!("committed scenario throughput_baseline.toml must build: {e}"));
+    let station = scenario.station(0);
+    let trace = station.traffic.trace();
+
+    let stages = per_stage_throughput(
+        &trace,
+        scenario.window,
+        station.interfaces,
+        station.traffic.seed,
+        scenario.calib_secs,
+        opts,
+    );
+    let (padding_pps, _) = defended_station_pps(&scenario, 0, opts);
+    let (morphing_pps, _) = defended_station_pps(&scenario, 1, opts);
+    let (morph_or_pps, _) = defended_station_pps(&scenario, 2, opts);
+
+    let json = format!(
+        "{{\n  \"bench\": \"stage_throughput\",\n  \"workload\": \"scenarios/throughput_baseline.toml\",\n  \"packets\": {},\n  \"warmup\": {},\n  \"iterations\": {},\n{},\n  \"defended_padding_pps\": {padding_pps:.0},\n  \"defended_morphing_pps\": {morphing_pps:.0},\n  \"defended_morph_or_pps\": {morph_or_pps:.0}\n}}\n",
+        trace.len(),
+        opts.warmup,
+        opts.iters,
+        stages.json_fields(),
+    );
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write stage throughput json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = diff_path {
+        match std::fs::read_to_string(&path) {
+            Ok(committed) => {
+                print!("{}", diff_report(&stages, &committed));
+                for (key, pps) in [
+                    ("defended_padding_pps", padding_pps),
+                    ("defended_morphing_pps", morphing_pps),
+                    ("defended_morph_or_pps", morph_or_pps),
+                ] {
+                    match bench::stagebench::baseline_value(&committed, key) {
+                        Some(base) if base > 0.0 => println!(
+                            "stage-diff: {key} {pps:.0} vs committed {base:.0} ({:.2}x)",
+                            pps / base
+                        ),
+                        _ => println!("stage-diff: {key} {pps:.0} (no committed value)"),
+                    }
+                }
+            }
+            Err(e) => println!("stage-diff: cannot read {path}: {e} (skipping diff)"),
+        }
+    }
+}

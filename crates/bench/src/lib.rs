@@ -34,6 +34,7 @@ pub mod pipeline;
 pub mod power;
 pub mod report;
 pub mod scenario;
+pub mod stagebench;
 pub mod streaming;
 pub mod tables;
 

@@ -1,0 +1,325 @@
+//! Per-stage throughput measurement: the instrumentation half of the
+//! defended-path performance work.
+//!
+//! `BENCH_pipeline.json` historically recorded only end-to-end defended
+//! packets/second, so a regression in one stage (say the morphing CDF kernel)
+//! was invisible until it dragged the composed numbers down. This module
+//! measures each defense stage **in isolation** — one single-stage
+//! [`StagePipeline`] driven over the baseline workload into a counting sink —
+//! plus the windower (the universal consumer behind every defended path), so
+//! each stage's per-packet cost is pinned individually in the trajectory
+//! file.
+//!
+//! Shared by the `bench_json` baseline writer (full-size measurement, fields
+//! committed to `BENCH_pipeline.json`) and the `stage_throughput` bin (local
+//! profiling and the reduced-size CI smoke step, with a non-blocking diff
+//! against the committed baseline).
+
+use crate::pipeline::{defense_pipeline, DefenseKind};
+use crate::scenario::Scenario;
+use classifier::stream::{FlowWindowers, StreamingWindower};
+use classifier::window::{FeatureMode, DEFAULT_MIN_PACKETS};
+use defenses::spec::StageContext;
+use defenses::stage::StagePipeline;
+use traffic_gen::trace::Trace;
+use wlan_sim::time::SimDuration;
+
+/// Default measurement iterations (matching the historical `bench_json`
+/// constants); the smoke step dials these down via `MeasureOpts`.
+pub const DEFAULT_WARMUP_ITERS: usize = 3;
+/// See [`DEFAULT_WARMUP_ITERS`].
+pub const DEFAULT_MEASURE_ITERS: usize = 15;
+
+/// How many warm-up and timed iterations a measurement runs.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOpts {
+    /// Untimed iterations run first (page in code and data).
+    pub warmup: usize,
+    /// Timed iterations; the best (highest pps) is reported.
+    pub iters: usize,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        MeasureOpts {
+            warmup: DEFAULT_WARMUP_ITERS,
+            iters: DEFAULT_MEASURE_ITERS,
+        }
+    }
+}
+
+impl MeasureOpts {
+    /// Reads `STAGE_BENCH_WARMUP` / `STAGE_BENCH_ITERS` from the environment,
+    /// falling back to the defaults — the knob the CI smoke step turns.
+    pub fn from_env() -> Self {
+        let read = |key: &str, default: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        MeasureOpts {
+            warmup: read("STAGE_BENCH_WARMUP", DEFAULT_WARMUP_ITERS),
+            iters: read("STAGE_BENCH_ITERS", DEFAULT_MEASURE_ITERS),
+        }
+    }
+}
+
+/// Best-of-N packets/second for one pipeline body. The body returns the
+/// number of packets it pushed through; the best iteration is reported (the
+/// conventional way to strip scheduler noise from a throughput floor).
+pub fn measure<F: FnMut() -> usize>(opts: MeasureOpts, mut body: F) -> (f64, usize) {
+    let mut packets = 0;
+    for _ in 0..opts.warmup {
+        packets = body();
+    }
+    let mut best_pps = 0.0f64;
+    for _ in 0..opts.iters.max(1) {
+        let start = std::time::Instant::now();
+        let n = body();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best_pps = best_pps.max(n as f64 / secs);
+        packets = n;
+    }
+    (best_pps, packets)
+}
+
+/// Drives one defended streaming evaluation pass: trace → stage pipeline →
+/// per-sub-flow windowers, exactly the per-packet path the scenario engine
+/// runs. The pipeline is `reset` first so repeated passes measure the
+/// steady-state per-packet cost, not calibration.
+pub fn defended_pass(trace: &Trace, window: SimDuration, pipeline: &mut StagePipeline) -> usize {
+    let app = trace.app().expect("bench trace is labelled");
+    pipeline.reset();
+    let mut windowers = FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut examples = 0usize;
+    pipeline.run(&mut trace.stream(), |flow, packet| {
+        if windowers.push(flow as usize, packet).is_some() {
+            examples += 1;
+        }
+    });
+    examples += windowers.finish().len();
+    std::hint::black_box(examples);
+    trace.len()
+}
+
+/// Measures the defended end-to-end pps of one spec'd station (pipeline built
+/// through the scenario engine like `bench_json` always has), returning
+/// `(pps, overhead_pct)`.
+pub fn defended_station_pps(scenario: &Scenario, index: usize, opts: MeasureOpts) -> (f64, f64) {
+    let station = scenario.station(index);
+    let station_trace = station.traffic.trace();
+    let ctx = StageContext {
+        app: station.traffic.app,
+        seed: station.traffic.seed,
+        calib_secs: scenario.calib_secs,
+        source: Some(&station_trace),
+    };
+    let mut pipeline = station
+        .defense
+        .build(&ctx, station.interfaces)
+        .expect("validated at build time");
+    let (pps, _) = measure(opts, || {
+        defended_pass(&station_trace, scenario.window, &mut pipeline)
+    });
+    (pps, pipeline.overhead().percent())
+}
+
+/// The throughput of one stage measured alone: a single-stage pipeline driven
+/// over the trace into a counting sink (no windowers), so the number isolates
+/// the stage's own per-packet cost from everything downstream.
+fn stage_only_pps(trace: &Trace, pipeline: &mut StagePipeline, opts: MeasureOpts) -> f64 {
+    let (pps, _) = measure(opts, || {
+        pipeline.reset();
+        let mut emitted = 0usize;
+        pipeline.run(&mut trace.stream(), |_, _| emitted += 1);
+        std::hint::black_box(emitted);
+        trace.len()
+    });
+    pps
+}
+
+/// The windower measured alone: the trace folded straight into one
+/// [`StreamingWindower`] with no defense in front.
+fn windower_pps(trace: &Trace, window: SimDuration, opts: MeasureOpts) -> f64 {
+    let app = trace.app().expect("bench trace is labelled");
+    let (pps, _) = measure(opts, || {
+        let mut windower =
+            StreamingWindower::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+        let mut examples = 0usize;
+        let mut source = trace.stream();
+        while let Some(packet) = traffic_gen::stream::PacketSource::next_packet(&mut source) {
+            if windower.push(&packet).is_some() {
+                examples += 1;
+            }
+        }
+        if windower.finish().is_some() {
+            examples += 1;
+        }
+        std::hint::black_box(examples);
+        trace.len()
+    });
+    pps
+}
+
+/// Per-stage packets/second over one workload trace: each defense stage in
+/// isolation plus the windower. Field order matches the JSON key order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageThroughput {
+    /// `(json key, packets/second)` per stage, in report order.
+    pub stages: Vec<(&'static str, f64)>,
+}
+
+impl StageThroughput {
+    /// The JSON fragment (`"key": value` lines) the baseline file embeds.
+    pub fn json_fields(&self) -> String {
+        self.stages
+            .iter()
+            .map(|(key, pps)| format!("  \"{key}\": {pps:.0}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    }
+
+    /// Looks up one stage's pps by JSON key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, pps)| *pps)
+    }
+}
+
+/// The JSON keys [`per_stage_throughput`] reports, in order. Kept public so
+/// the diff tooling and tests never drift from the measurement.
+pub const STAGE_KEYS: [&str; 6] = [
+    "stage_padding_pps",
+    "stage_morphing_pps",
+    "stage_pseudonym_pps",
+    "stage_fh_pps",
+    "stage_reshape_pps",
+    "stage_windower_pps",
+];
+
+/// Measures every defense stage in isolation over `trace` (padding, morphing,
+/// pseudonym rotation, frequency hopping, OR reshaping), plus the plain
+/// windower. Stages are built through [`defense_pipeline`] with the same
+/// construction the defended end-to-end numbers use.
+pub fn per_stage_throughput(
+    trace: &Trace,
+    window: SimDuration,
+    interfaces: usize,
+    seed: u64,
+    calib_secs: f64,
+    opts: MeasureOpts,
+) -> StageThroughput {
+    let app = trace.app().expect("bench trace is labelled");
+    let single =
+        |kind: DefenseKind| defense_pipeline(kind, app, interfaces, seed, calib_secs, Some(trace));
+    let kinds = [
+        ("stage_padding_pps", DefenseKind::Padding),
+        ("stage_morphing_pps", DefenseKind::Morphing),
+        ("stage_pseudonym_pps", DefenseKind::Pseudonym),
+        ("stage_fh_pps", DefenseKind::FrequencyHopping),
+        ("stage_reshape_pps", DefenseKind::Orthogonal),
+    ];
+    let mut stages = Vec::with_capacity(STAGE_KEYS.len());
+    for (key, kind) in kinds {
+        let mut pipeline = single(kind);
+        stages.push((key, stage_only_pps(trace, &mut pipeline, opts)));
+    }
+    stages.push(("stage_windower_pps", windower_pps(trace, window, opts)));
+    StageThroughput { stages }
+}
+
+/// Extracts `"key": <number>` from a committed baseline JSON file without a
+/// JSON parser dependency — the baseline writer controls the format, so a
+/// line-oriented scan is exact.
+pub fn baseline_value(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    json.lines().find_map(|line| {
+        let rest = line.trim().strip_prefix(&needle)?;
+        rest.trim().trim_end_matches(',').parse().ok()
+    })
+}
+
+/// Formats the non-blocking per-stage regression report: new measurement vs
+/// the committed baseline, one log line per stage. Missing baseline keys
+/// (first run after this instrumentation lands) are reported as `new`.
+pub fn diff_report(current: &StageThroughput, committed_json: &str) -> String {
+    let mut out = String::new();
+    for (key, pps) in &current.stages {
+        match baseline_value(committed_json, key) {
+            Some(base) if base > 0.0 => {
+                let ratio = pps / base;
+                let verdict = if ratio < 0.8 {
+                    "REGRESSION?"
+                } else if ratio > 1.25 {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                out.push_str(&format!(
+                    "stage-diff: {key} {pps:.0} vs committed {base:.0} ({ratio:.2}x) {verdict}\n"
+                ));
+            }
+            _ => out.push_str(&format!(
+                "stage-diff: {key} {pps:.0} (no committed value)\n"
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_gen::app::AppKind;
+    use traffic_gen::generator::SessionGenerator;
+
+    fn quick_opts() -> MeasureOpts {
+        MeasureOpts {
+            warmup: 0,
+            iters: 1,
+        }
+    }
+
+    #[test]
+    fn per_stage_throughput_reports_every_key() {
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 1).generate_secs(5.0);
+        let report =
+            per_stage_throughput(&trace, SimDuration::from_secs(5), 3, 1, 5.0, quick_opts());
+        let keys: Vec<&str> = report.stages.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, STAGE_KEYS);
+        for (key, pps) in &report.stages {
+            assert!(*pps > 0.0, "{key} must measure a positive throughput");
+        }
+        let json = report.json_fields();
+        for key in STAGE_KEYS {
+            assert!(json.contains(key), "json fields must include {key}");
+        }
+        assert_eq!(report.get("stage_padding_pps"), Some(report.stages[0].1));
+        assert_eq!(report.get("nope"), None);
+    }
+
+    #[test]
+    fn baseline_value_parses_the_committed_format() {
+        let json = "{\n  \"stage_padding_pps\": 12345678,\n  \"other\": 1.5,\n}\n";
+        assert_eq!(baseline_value(json, "stage_padding_pps"), Some(12345678.0));
+        assert_eq!(baseline_value(json, "other"), Some(1.5));
+        assert_eq!(baseline_value(json, "missing"), None);
+    }
+
+    #[test]
+    fn diff_report_flags_regressions_and_missing_keys() {
+        let current = StageThroughput {
+            stages: vec![("stage_padding_pps", 50.0), ("stage_morphing_pps", 100.0)],
+        };
+        let committed = "{\n  \"stage_padding_pps\": 100\n}\n";
+        let report = diff_report(&current, committed);
+        assert!(report.contains("REGRESSION?"), "{report}");
+        assert!(
+            report.contains("stage_morphing_pps 100 (no committed value)"),
+            "{report}"
+        );
+    }
+}

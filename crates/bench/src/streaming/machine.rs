@@ -192,11 +192,9 @@ impl StationMachine {
         }
     }
 
-    /// Feeds one packet: splices in every phase whose time has come
-    /// (possibly several between two packets), then runs the packet through
-    /// the active pipeline into the windower bank, scoring whatever closes.
-    pub(crate) fn offer(&mut self, packet: &PacketRecord, scorer: &mut dyn WindowScorer) {
-        let now = packet.time.as_secs_f64();
+    /// Splices in every phase whose time has come at `now` (possibly several
+    /// between two packets).
+    fn advance_schedule(&mut self, now: f64, scorer: &mut dyn WindowScorer) {
         while self.index + 1 < self.phases.len() && now >= self.phases[self.index + 1].0 {
             close_phase(
                 &mut self.phases[self.index].1,
@@ -218,6 +216,12 @@ impl StationMachine {
                 FlowWindowers::for_app(self.window, DEFAULT_MIN_PACKETS, self.mode, self.app);
             self.index += 1;
         }
+    }
+
+    /// Feeds one packet: advances the schedule, then runs the packet through
+    /// the active pipeline into the windower bank, scoring whatever closes.
+    pub(crate) fn offer(&mut self, packet: &PacketRecord, scorer: &mut dyn WindowScorer) {
+        self.advance_schedule(packet.time.as_secs_f64(), scorer);
         self.packets += 1;
         let pipeline = &mut self.phases[self.index].1;
         let windowers = &mut self.windowers;
@@ -228,6 +232,38 @@ impl StationMachine {
                 score_window(scorer, &example, windows, hits);
             }
         });
+    }
+
+    /// Feeds a time-ordered micro-batch — the batched fast path, byte-
+    /// identical to offering each packet in turn: the slice is split at
+    /// phase-splice boundaries, so each sub-run flows through exactly the
+    /// pipeline [`offer`](Self::offer) would have used, in one
+    /// [`StagePipeline::process_batch`] call instead of one per packet.
+    pub(crate) fn offer_slice(&mut self, packets: &[PacketRecord], scorer: &mut dyn WindowScorer) {
+        let mut rest = packets;
+        while !rest.is_empty() {
+            self.advance_schedule(rest[0].time.as_secs_f64(), scorer);
+            // After advancing at rest[0], at least one packet precedes the
+            // next splice, so every iteration consumes a non-empty run.
+            let run_len = if self.index + 1 < self.phases.len() {
+                let next = self.phases[self.index + 1].0;
+                rest.partition_point(|p| p.time.as_secs_f64() < next)
+            } else {
+                rest.len()
+            };
+            let (run, tail) = rest.split_at(run_len);
+            self.packets += run.len() as u64;
+            let pipeline = &mut self.phases[self.index].1;
+            let windowers = &mut self.windowers;
+            let windows = &mut self.windows;
+            let hits = &mut self.hits;
+            pipeline.process_batch(run, |flow, staged| {
+                if let Some(example) = windowers.push(flow as usize, staged) {
+                    score_window(scorer, &example, windows, hits);
+                }
+            });
+            rest = tail;
+        }
     }
 
     /// Session end: closes the running phase, reports any phase scheduled

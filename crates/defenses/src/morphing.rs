@@ -89,15 +89,15 @@ impl TrafficMorpher {
         self.target_app
     }
 
-    /// Maps a quantile in `[0, 1]` to a size drawn from the target CDF.
+    /// Maps a quantile in `[0, 1]` to a size drawn from the target CDF (the
+    /// first bin whose cumulative mass reaches `q`).
     fn target_size_at_quantile(&self, q: f64) -> usize {
         let q = q.clamp(0.0, 1.0);
-        for (i, c) in self.target_cdf.iter().enumerate() {
-            if *c >= q {
-                return ((i * self.bin_width) + self.bin_width / 2).min(MAX_PACKET_SIZE);
-            }
+        let i = self.target_cdf.partition_point(|c| *c < q);
+        if i == self.target_cdf.len() {
+            return MAX_PACKET_SIZE;
         }
-        MAX_PACKET_SIZE
+        ((i * self.bin_width) + self.bin_width / 2).min(MAX_PACKET_SIZE)
     }
 
     /// The streaming morphing stage, with the source size distribution
@@ -148,6 +148,9 @@ impl TrafficMorpher {
 pub struct MorphingStage {
     morpher: TrafficMorpher,
     source_cdf: Vec<f64>,
+    /// Source bin → morphed size, precomputed at construction so the
+    /// per-packet kernel is one bounded table load instead of a CDF walk.
+    bin_to_target: Vec<usize>,
     ledger: Overhead,
 }
 
@@ -161,9 +164,16 @@ impl MorphingStage {
     /// Panics if the source CDF is empty.
     pub fn new(morpher: TrafficMorpher, source_cdf: Vec<f64>) -> Self {
         assert!(!source_cdf.is_empty(), "source CDF must not be empty");
+        // Both CDFs are fixed before traffic flows, so the whole
+        // quantile-matching composition collapses into one lookup table.
+        let bin_to_target = source_cdf
+            .iter()
+            .map(|&q| morpher.target_size_at_quantile(q))
+            .collect();
         MorphingStage {
             morpher,
             source_cdf,
+            bin_to_target,
             ledger: Overhead::default(),
         }
     }
@@ -175,10 +185,14 @@ impl MorphingStage {
 
     /// Morphs one size (the per-packet kernel shared with the batch path).
     fn morph_size(&self, size: usize) -> usize {
+        debug_assert!(
+            size <= MAX_PACKET_SIZE,
+            "packet size {size} exceeds MAX_PACKET_SIZE ({MAX_PACKET_SIZE}); \
+             upstream stages must emit link-layer-sized packets"
+        );
         let bin = size.min(MAX_PACKET_SIZE) / self.morpher.bin_width;
-        let q = self.source_cdf[bin.min(self.source_cdf.len() - 1)];
         // Never shrink: link-layer morphing cannot delete payload bytes.
-        self.morpher.target_size_at_quantile(q).max(size)
+        self.bin_to_target[bin.min(self.bin_to_target.len() - 1)].max(size)
     }
 }
 
@@ -349,5 +363,60 @@ mod tests {
         let gaming = trace_of(AppKind::Gaming, 10, 30.0);
         let _ = TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming)
             .stage_for_source_trace(&Trace::new());
+    }
+
+    fn stage_for_tests() -> MorphingStage {
+        let chat = trace_of(AppKind::Chatting, 11, 60.0);
+        let gaming = trace_of(AppKind::Gaming, 12, 60.0);
+        TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming).stage_for_source_trace(&chat)
+    }
+
+    #[test]
+    fn lut_matches_the_quantile_walk_for_every_size() {
+        // The precomputed bin→target table must agree with recomputing the
+        // quantile match from the CDFs for every admissible size.
+        let stage = stage_for_tests();
+        for size in 0..=MAX_PACKET_SIZE {
+            let bin = size / stage.morpher.bin_width;
+            let q = stage.source_cdf[bin.min(stage.source_cdf.len() - 1)];
+            let walked = stage.morpher.target_size_at_quantile(q).max(size);
+            assert_eq!(stage.morph_size(size), walked, "size {size}");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PACKET_SIZE")]
+    fn oversize_packet_trips_the_debug_assert() {
+        // Sizes above the link MTU are an upstream bug: loudly reject them in
+        // debug builds instead of silently saturating.
+        let stage = stage_for_tests();
+        let _ = stage.morph_size(MAX_PACKET_SIZE + 1);
+    }
+
+    #[test]
+    fn sizes_past_the_last_source_bin_clamp_to_the_last_quantile() {
+        // A source CDF estimated from a trace may cover fewer bins than the
+        // MTU allows; any larger (still admissible) size must clamp to the
+        // last bin's quantile rather than index out of bounds.
+        let gaming = trace_of(AppKind::Gaming, 13, 60.0);
+        let morpher = TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming);
+        // Short source CDF: two bins covering sizes 0..16 only.
+        let stage = MorphingStage::new(morpher, vec![0.5, 1.0]);
+        let at_last_bin = stage.morph_size(8);
+        for size in [16, 100, MAX_PACKET_SIZE] {
+            assert_eq!(stage.morph_size(size), at_last_bin.max(size), "size {size}");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_bin_cdf_morphs_every_size_to_the_top_quantile() {
+        let gaming = trace_of(AppKind::Gaming, 14, 60.0);
+        let morpher = TrafficMorpher::from_target_trace(AppKind::Gaming, &gaming);
+        let top = morpher.target_size_at_quantile(1.0);
+        let stage = MorphingStage::new(morpher, vec![1.0]);
+        for size in [0, 1, 64, 700, MAX_PACKET_SIZE] {
+            assert_eq!(stage.morph_size(size), top.max(size), "size {size}");
+        }
     }
 }

@@ -18,9 +18,13 @@ use crate::online::{OnlineReshaper, SubFlowSink};
 use crate::scheduler::ReshapeAlgorithm;
 use crate::vif::VifIndex;
 use defenses::overhead::Overhead;
-use defenses::stage::{FlowId, FlowMap, PacketStage, StageOutput, StagePipeline};
+use defenses::stage::{FlowId, PacketStage, StageOutput, StagePipeline};
 use traffic_gen::packet::PacketRecord;
 use traffic_gen::stream::PacketSource;
+
+/// Sentinel marking an unallocated `(incoming flow, interface)` slot in the
+/// dense flow table.
+const NO_FLOW: FlowId = FlowId::MAX;
 
 /// The reshaping engine as a composable [`PacketStage`]: every packet is
 /// dispatched to a virtual interface, and each `(incoming flow, interface)`
@@ -31,7 +35,13 @@ use traffic_gen::stream::PacketSource;
 #[derive(Debug)]
 pub struct ReshapeStage {
     online: OnlineReshaper,
-    flows: FlowMap<VifIndex>,
+    /// Dense flow table indexed by `incoming flow × interface_count + vif`,
+    /// [`NO_FLOW`] where unallocated. The interface count is fixed by the
+    /// algorithm, so this replaces the per-packet `FlowMap` hash lookup with
+    /// one bounds-checked load while allocating the same dense ids in the
+    /// same first-appearance order.
+    flow_table: Vec<FlowId>,
+    next_flow: FlowId,
     vifs: Vec<VifIndex>,
     ledger: Overhead,
 }
@@ -46,7 +56,8 @@ impl ReshapeStage {
     pub fn from_online(online: OnlineReshaper) -> Self {
         ReshapeStage {
             online,
-            flows: FlowMap::new(),
+            flow_table: Vec::new(),
+            next_flow: 0,
             vifs: Vec::new(),
             ledger: Overhead::default(),
         }
@@ -60,7 +71,26 @@ impl ReshapeStage {
 
     /// Number of output sub-flows opened so far (≤ incoming flows × vifs).
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.next_flow as usize
+    }
+
+    /// Returns the output flow for `(flow, vif)`, allocating the next dense
+    /// id on first sight (same contract as `FlowMap::id_of`).
+    #[inline]
+    fn id_of(&mut self, flow: FlowId, vif: VifIndex) -> (FlowId, bool) {
+        let vifs = self.online.interface_count();
+        let slot = flow as usize * vifs + vif.index();
+        if slot >= self.flow_table.len() {
+            self.flow_table.resize((flow as usize + 1) * vifs, NO_FLOW);
+        }
+        let entry = &mut self.flow_table[slot];
+        if *entry != NO_FLOW {
+            return (*entry, false);
+        }
+        let id = self.next_flow;
+        self.next_flow += 1;
+        *entry = id;
+        (id, true)
     }
 
     /// The virtual interface carrying output sub-flow `flow`.
@@ -76,7 +106,7 @@ impl PacketStage for ReshapeStage {
 
     fn on_packet(&mut self, flow: FlowId, packet: &PacketRecord, out: &mut StageOutput) {
         let vif = self.online.assign(packet);
-        let (out_flow, fresh) = self.flows.id_of(flow, vif);
+        let (out_flow, fresh) = self.id_of(flow, vif);
         if fresh {
             self.vifs.push(vif);
         }
@@ -90,7 +120,8 @@ impl PacketStage for ReshapeStage {
 
     fn reset(&mut self) {
         self.online.reset();
-        self.flows.reset();
+        self.flow_table.clear();
+        self.next_flow = 0;
         self.vifs.clear();
         self.ledger = Overhead::default();
     }

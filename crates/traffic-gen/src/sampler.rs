@@ -129,9 +129,18 @@ impl Pareto {
 }
 
 /// Samples an index according to a set of non-negative weights.
+///
+/// Draws are O(1): a guide table maps the uniform variate to a starting
+/// index that a short fix-up scan then corrects, preserving the exact
+/// variate→category mapping of a cumulative-weight search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Categorical {
     cumulative: Vec<f64>,
+    /// `guide[b]` is the answer for the smallest variate in bucket `b`, so
+    /// the fix-up scan almost always terminates immediately.
+    guide: Vec<u32>,
+    /// Multiplying a variate by this maps it onto a guide bucket.
+    guide_scale: f64,
 }
 
 impl Categorical {
@@ -151,7 +160,43 @@ impl Categorical {
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "categorical weights must not all be zero");
-        Categorical { cumulative }
+        // Over-provision buckets 4× so most buckets span at most one
+        // category boundary and the fix-up scan in `index_of` is O(1).
+        let buckets = (cumulative.len() * 4).max(8);
+        let last = cumulative.len() - 1;
+        let mut guide = Vec::with_capacity(buckets);
+        let mut idx = 0usize;
+        for b in 0..buckets {
+            let lo = acc * (b as f64) / (buckets as f64);
+            while idx < last && cumulative[idx] <= lo {
+                idx += 1;
+            }
+            guide.push(idx as u32);
+        }
+        let guide_scale = buckets as f64 / acc;
+        Categorical {
+            cumulative,
+            guide,
+            guide_scale,
+        }
+    }
+
+    /// Maps a variate in `[0, total)` to the first category whose cumulative
+    /// weight exceeds it (clamped to the last category) — the same mapping a
+    /// binary search over `cumulative` produces, but O(1) via the guide
+    /// table. The two scans absorb any float rounding in the bucket
+    /// computation, so the mapping is exact, not approximate.
+    fn index_of(&self, x: f64) -> usize {
+        let bucket = ((x * self.guide_scale) as usize).min(self.guide.len() - 1);
+        let mut i = self.guide[bucket] as usize;
+        while i > 0 && self.cumulative[i - 1] > x {
+            i -= 1;
+        }
+        let last = self.cumulative.len() - 1;
+        while i < last && self.cumulative[i] <= x {
+            i += 1;
+        }
+        i
     }
 
     /// Number of categories.
@@ -164,17 +209,12 @@ impl Categorical {
         self.cumulative.is_empty()
     }
 
-    /// Draws one category index.
+    /// Draws one category index (a single uniform draw, then the O(1)
+    /// guide-table lookup).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty by construction");
         let x: f64 = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
-        {
-            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
-            Err(i) => i,
-        }
+        self.index_of(x)
     }
 }
 
@@ -349,6 +389,51 @@ mod tests {
     #[should_panic]
     fn categorical_rejects_all_zero_weights() {
         let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn guide_table_matches_the_former_binary_search_exactly() {
+        // The O(1) lookup must reproduce the retired binary-search mapping
+        // bit for bit, or every seeded trace in the repo changes.
+        let mut rng = rng();
+        let weight_sets: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![0.7, 0.2, 0.1],
+            vec![1.0, 0.0, 1.0], // zero-weight category in the middle
+            vec![0.0, 1.0],      // zero-weight first category
+            vec![1e-9, 1.0, 1e-9],
+            (0..97).map(|i| (i % 7) as f64 + 0.25).collect(),
+        ];
+        for weights in &weight_sets {
+            let c = Categorical::new(weights);
+            let total = *c.cumulative.last().unwrap();
+            for _ in 0..5_000 {
+                let x: f64 = rng.gen_range(0.0..total);
+                let old = match c
+                    .cumulative
+                    .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+                {
+                    Ok(i) => (i + 1).min(c.cumulative.len() - 1),
+                    Err(i) => i,
+                };
+                assert_eq!(c.index_of(x), old, "weights {weights:?}, x {x}");
+            }
+            // Boundary variates (exact cumulative values and their
+            // neighbours) stress the fix-up scans.
+            for &edge in &c.cumulative {
+                for x in [edge * (1.0 - 1e-15), edge, edge * (1.0 + 1e-15)] {
+                    if !(0.0..total).contains(&x) {
+                        continue;
+                    }
+                    let expect = c
+                        .cumulative
+                        .iter()
+                        .position(|&v| v > x)
+                        .unwrap_or(c.cumulative.len() - 1);
+                    assert_eq!(c.index_of(x), expect, "weights {weights:?}, x {x}");
+                }
+            }
+        }
     }
 
     #[test]
