@@ -1,6 +1,6 @@
 # Local targets mirroring the CI jobs so local and CI runs are identical.
 
-.PHONY: verify build test fmt lint bench-compile bench-json stage-bench scenario-check scenario-json examples ci
+.PHONY: verify build test fmt lint bench-compile bench-json stage-bench vtime-bench scenario-check scenario-json examples ci
 
 # The tier-1 gate: exactly what the driver and the CI `test` job run.
 verify:
@@ -33,6 +33,14 @@ bench-json:
 # STAGE_BENCH_WARMUP / STAGE_BENCH_ITERS to trade accuracy for speed.
 stage-bench:
 	cargo run --release -p bench --bin stage_throughput -- --out stage-throughput.json --diff BENCH_pipeline.json
+
+# Coalesced virtual-time executor smoke: runs the committed metropolis
+# scenario reduced to VTIME_BENCH_STATIONS stations (default 20k, the slice
+# bench-json commits as metropolis20k_*), writes vtime-bench.json, and prints
+# a non-blocking stations/sec + coalescing-ratio diff against the committed
+# BENCH_pipeline.json.
+vtime-bench:
+	cargo run --release -p bench --bin vtime_bench -- vtime-bench.json
 
 # Validates every committed scenario spec (parse + compile). CI gates on it,
 # so a malformed spec under scenarios/ fails the build. Debug profile: the

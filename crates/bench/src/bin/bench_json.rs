@@ -41,7 +41,9 @@ use bench::pipeline::{
 use bench::scenario::{
     default_scenarios_dir, execute_scenario, load_spec, run_scenario, train_for, Scenario,
 };
-use bench::stagebench::{defended_station_pps, per_stage_throughput, MeasureOpts};
+use bench::stagebench::{
+    defended_station_pps, peak_rss_bytes, per_stage_throughput, reduced_metropolis, MeasureOpts,
+};
 use classifier::online::{OnlineAdversary, PrequentialEvaluator};
 use classifier::stream::StreamingWindower;
 use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
@@ -174,43 +176,6 @@ fn committed_scenario(file: &str) -> Scenario {
         .unwrap_or_else(|e| panic!("committed scenario {file} must build: {e}"))
 }
 
-/// The committed metropolis scenario, with its group counts scaled down
-/// proportionally to roughly `target` stations. The full-size spec is a
-/// million stations — the CI baseline runs a reduced slice on the same
-/// virtual-time executor so the trajectory stays cheap to record, and
-/// `BENCH_METROPOLIS_STATIONS=1000000` reproduces the full run on demand.
-/// Targeted events in the spec address low station indices so they survive
-/// any reduction.
-fn metropolis_scenario(target: usize) -> Scenario {
-    let path = default_scenarios_dir().join("metropolis.toml");
-    let mut spec = load_spec(&path)
-        .unwrap_or_else(|e| panic!("committed scenario metropolis.toml must load: {e}"));
-    let total: usize = spec.stations.iter().map(|g| g.count).sum();
-    if target < total {
-        for group in &mut spec.stations {
-            group.count = (group.count * target / total).max(1);
-        }
-    }
-    spec.build()
-        .unwrap_or_else(|e| panic!("reduced metropolis spec must build: {e}"))
-}
-
-/// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or 0 where procfs is unavailable.
-fn peak_rss_bytes() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|status| {
-            status
-                .lines()
-                .find(|line| line.starts_with("VmHWM:"))
-                .and_then(|line| line.split_whitespace().nth(1))
-                .and_then(|kb| kb.parse::<u64>().ok())
-        })
-        .map(|kb| kb * 1024)
-        .unwrap_or(0)
-}
-
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -318,33 +283,72 @@ fn main() {
         ));
     }
 
-    // Metropolis: a reduced-N slice of the million-station churn scenario on
-    // the virtual-time executor. Only `execute_scenario` is timed (adversary
-    // training is a fixed cost shared by every executor), so
-    // `metropolis_stations_per_sec` tracks the event core itself; peak RSS is
-    // recorded to keep the O(active stations) memory claim in the trajectory.
-    let metropolis_target: usize = std::env::var("BENCH_METROPOLIS_STATIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
-    let metropolis = metropolis_scenario(metropolis_target);
-    let trained = train_for(&metropolis);
-    let start = std::time::Instant::now();
-    let (metropolis_report, metropolis_stats) =
-        execute_scenario(&metropolis, &trained, metropolis.executor)
+    // Metropolis: the million-station churn scenario on the virtual-time
+    // executor. Only `execute_scenario` is timed (adversary training is a
+    // fixed cost shared by every executor), so the stations/sec track the
+    // event core itself; peak RSS is recorded to keep the O(active stations)
+    // memory claim in the trajectory. The 20k-station slice is always
+    // measured (`metropolis20k_*` — cheap enough for CI); the full-scale
+    // numbers (`metropolis_full_*`) are re-measured when
+    // `BENCH_METROPOLIS_STATIONS` is set (e.g. `=1000000`) and otherwise
+    // carried forward from the committed baseline so the two never overwrite
+    // each other.
+    let mut metropolis_json = String::new();
+    let mut metropolis_block = |prefix: &str, target: usize| {
+        let metropolis = reduced_metropolis(target);
+        let trained = train_for(&metropolis);
+        let start = std::time::Instant::now();
+        let (report, stats) = execute_scenario(&metropolis, &trained, metropolis.executor)
             .unwrap_or_else(|e| panic!("metropolis scenario must run: {e}"));
-    let metropolis_secs = start.elapsed().as_secs_f64().max(1e-9);
-    let metropolis_stations = metropolis_report.stations;
-    let metropolis_sps = metropolis_stations as f64 / metropolis_secs;
-    let metropolis_peak_active = metropolis_stats.peak_active;
-    let metropolis_rss = peak_rss_bytes();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        metropolis_json.push_str(&format!(
+            ",\n  \"{prefix}_stations\": {},\n  \"{prefix}_stations_per_sec\": {:.0},\n  \"{prefix}_peak_active\": {},\n  \"{prefix}_events_popped\": {},\n  \"{prefix}_packets_per_event\": {:.1},\n  \"{prefix}_peak_rss_bytes\": {}",
+            report.stations,
+            report.stations as f64 / secs,
+            stats.peak_active,
+            stats.events_popped,
+            stats.packets_per_event(),
+            peak_rss_bytes()
+        ));
+    };
+    metropolis_block("metropolis20k", 20_000);
+    match std::env::var("BENCH_METROPOLIS_STATIONS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(target) => metropolis_block("metropolis_full", target),
+        None => {
+            // Carry the committed full-scale numbers forward instead of
+            // silently dropping them from the trajectory.
+            let committed = std::fs::read_to_string(&output).unwrap_or_default();
+            let mut carried = 0usize;
+            for (key, decimals) in [
+                ("metropolis_full_stations", 0),
+                ("metropolis_full_stations_per_sec", 0),
+                ("metropolis_full_peak_active", 0),
+                ("metropolis_full_events_popped", 0),
+                ("metropolis_full_packets_per_event", 1),
+                ("metropolis_full_peak_rss_bytes", 0),
+            ] {
+                if let Some(v) = bench::stagebench::baseline_value(&committed, key) {
+                    metropolis_json.push_str(&format!(",\n  \"{key}\": {v:.decimals$}"));
+                    carried += 1;
+                }
+            }
+            if carried == 0 {
+                eprintln!(
+                    "NOTE: no committed metropolis_full_* values in {output}; run with BENCH_METROPOLIS_STATIONS=1000000 to record them"
+                );
+            }
+        }
+    }
 
     let reshape_speedup = reshape_streaming_pps / reshape_batch_pps;
     let eval_speedup = eval_streaming_pps / eval_batch_pps;
     let iterations = opts.iters;
     let stage_fields = stage_throughput.json_fields();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {iterations},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n{stage_fields},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json},\n  \"metropolis_stations\": {metropolis_stations},\n  \"metropolis_stations_per_sec\": {metropolis_sps:.0},\n  \"metropolis_peak_active\": {metropolis_peak_active},\n  \"metropolis_peak_rss_bytes\": {metropolis_rss}\n}}\n"
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {iterations},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n{stage_fields},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json}{metropolis_json}\n}}\n"
     );
     std::fs::write(&output, &json).expect("write baseline json");
     println!("{json}");

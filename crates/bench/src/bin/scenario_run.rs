@@ -16,7 +16,7 @@
 //! N stations, so routine CI sweeps don't run the metropolis family at full
 //! size.
 
-use bench::scenario::{default_scenarios_dir, load_spec, run_scenario, spec_files};
+use bench::scenario::{default_scenarios_dir, execute_scenario, load_spec, spec_files, train_for};
 use std::path::PathBuf;
 
 fn main() {
@@ -98,8 +98,11 @@ fn main() {
             );
             continue;
         }
-        match run_scenario(&scenario) {
-            Ok(report) => {
+        let adversary = train_for(&scenario);
+        let start = std::time::Instant::now();
+        match execute_scenario(&scenario, &adversary, scenario.executor) {
+            Ok((report, stats)) => {
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
                 let json = serde_json::to_string(&report).expect("reports always serialize");
                 if let Err(e) = std::fs::create_dir_all(&out_dir) {
                     fail(&format!("{}: cannot create: {e}", out_dir.display()));
@@ -118,6 +121,16 @@ fn main() {
                     report.identification_rate,
                     report.mean_overhead_pct,
                     out_path.display()
+                );
+                println!(
+                    "    [{}: {} workers, {:.0} stations/s, peak_active {}, \
+                     {} events, {:.1} packets/event]",
+                    scenario.executor.name(),
+                    stats.workers,
+                    report.stations as f64 / secs,
+                    stats.peak_active,
+                    stats.events_popped,
+                    stats.packets_per_event()
                 );
             }
             Err(e) => {

@@ -1,0 +1,84 @@
+//! Reduced metropolis smoke for the virtual-time executor, as JSON.
+//!
+//! ```text
+//! cargo run --release -p bench --bin vtime_bench [OUTPUT.json]
+//! ```
+//!
+//! Runs the committed `scenarios/metropolis.toml` reduced to
+//! `VTIME_BENCH_STATIONS` stations (default 20 000 — the same slice
+//! `bench_json` commits as `metropolis20k_*`) on its spec'd virtual-time
+//! executor, timing only `execute_scenario` (adversary training is a fixed
+//! cost shared by every executor). Writes stations/sec, the coalescing
+//! ratio (`packets_per_event`), peak-active and peak-RSS to `OUTPUT.json`
+//! (default `vtime-bench.json`, uploaded as a CI artifact) and prints a
+//! **non-blocking** diff against the committed `metropolis20k_*` baseline
+//! in `VTIME_BENCH_BASELINE` (default `BENCH_pipeline.json`) — the same
+//! advisory pattern as `make stage-bench`.
+
+use bench::scenario::{execute_scenario, train_for};
+use bench::stagebench::{baseline_value, peak_rss_bytes, reduced_metropolis};
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vtime-bench.json".to_string());
+    let target: usize = std::env::var("VTIME_BENCH_STATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let baseline_path =
+        std::env::var("VTIME_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+
+    let scenario = reduced_metropolis(target);
+    let adversary = train_for(&scenario);
+    let start = std::time::Instant::now();
+    let (report, stats) = execute_scenario(&scenario, &adversary, scenario.executor)
+        .unwrap_or_else(|e| panic!("metropolis scenario must run: {e}"));
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let stations_per_sec = report.stations as f64 / secs;
+
+    let json = format!(
+        "{{\n  \"bench\": \"vtime\",\n  \"workload\": \"scenarios/metropolis.toml reduced to {} stations\",\n  \"stations\": {},\n  \"stations_per_sec\": {stations_per_sec:.0},\n  \"packets\": {},\n  \"events_popped\": {},\n  \"packets_per_event\": {:.1},\n  \"peak_active\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
+        target,
+        report.stations,
+        stats.packets,
+        stats.events_popped,
+        stats.packets_per_event(),
+        stats.peak_active,
+        peak_rss_bytes()
+    );
+    std::fs::write(&output, &json).expect("write vtime bench json");
+    println!("{json}");
+    println!("wrote {output}");
+
+    // Advisory diff against the committed trajectory — informative in CI
+    // logs, never a gate (the committed numbers come from different
+    // hardware). Only meaningful at the committed slice size.
+    if report.stations != 20_000 {
+        println!(
+            "(skipping baseline diff: {} stations is not the committed 20k slice)",
+            report.stations
+        );
+        return;
+    }
+    let committed = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    for (key, value) in [
+        ("metropolis20k_stations_per_sec", stations_per_sec),
+        ("metropolis20k_packets_per_event", stats.packets_per_event()),
+    ] {
+        match baseline_value(&committed, key) {
+            Some(base) if base > 0.0 => {
+                let ratio = value / base;
+                let verdict = if ratio < 0.8 {
+                    "REGRESSION?"
+                } else if ratio > 1.25 {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!("{key}: {value:.0} vs committed {base:.0} ({ratio:.2}x) {verdict}");
+            }
+            _ => println!("{key}: {value:.0} (no committed baseline in {baseline_path})"),
+        }
+    }
+}

@@ -361,6 +361,7 @@ mod tests {
                 &adversary,
                 Executor::VirtualTime {
                     workers: Some(workers),
+                    max_slice: None,
                 },
             )
             .expect("runs");

@@ -646,7 +646,10 @@ pub struct ScenarioSpec {
     pub adversary: AdversarySpec,
     /// The event schedule (splices and churn).
     pub events: Vec<EventSpec>,
-    /// Which executor runs the population (`"pooled"` or `"virtual_time"`).
+    /// Which executor runs the population (`"pooled"` or `"virtual_time"`);
+    /// the optional `max_slice_secs` key caps the virtual span one station
+    /// drains per event on the virtual-time executor (reports are identical
+    /// for every horizon — it only trades heap traffic for slice length).
     pub executor: Executor,
     /// How many stations keep a full per-station outcome in the report
     /// (aggregates always cover everyone). Caps report size for
@@ -671,6 +674,7 @@ impl Deserialize for ScenarioSpec {
                 "adversary",
                 "events",
                 "executor",
+                "max_slice_secs",
                 "max_station_reports",
             ],
             "scenario",
@@ -714,6 +718,25 @@ impl Deserialize for ScenarioSpec {
                 return Err(Error::custom(format!(
                     "expected executor tag string, found {other:?}"
                 )))
+            }
+        };
+        let executor = match serde::value_get(map, "max_slice_secs")
+            .map(f64::from_value)
+            .transpose()?
+        {
+            None => executor,
+            Some(secs) => {
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(Error::custom(format!(
+                        "max_slice_secs must be a positive, finite number of seconds, got {secs}"
+                    )));
+                }
+                if executor == Executor::Pooled {
+                    return Err(Error::custom(
+                        "max_slice_secs only applies to executor = \"virtual_time\"",
+                    ));
+                }
+                executor.with_max_slice(SimDuration::from_secs_f64(secs))
             }
         };
         let max_station_reports = serde::value_get(map, "max_station_reports")

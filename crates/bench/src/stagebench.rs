@@ -231,6 +231,42 @@ pub fn per_stage_throughput(
     StageThroughput { stages }
 }
 
+/// The committed metropolis scenario, with its group counts scaled down
+/// proportionally to roughly `target` stations. The full-size spec is a
+/// million stations — the CI baselines run a reduced slice on the same
+/// virtual-time executor so the trajectory stays cheap to record. Targeted
+/// events in the spec address low station indices so they survive any
+/// reduction.
+pub fn reduced_metropolis(target: usize) -> Scenario {
+    let path = crate::scenario::default_scenarios_dir().join("metropolis.toml");
+    let mut spec = crate::scenario::load_spec(&path)
+        .unwrap_or_else(|e| panic!("committed scenario metropolis.toml must load: {e}"));
+    let total: usize = spec.stations.iter().map(|g| g.count).sum();
+    if target < total {
+        for group in &mut spec.stations {
+            group.count = (group.count * target / total).max(1);
+        }
+    }
+    spec.build()
+        .unwrap_or_else(|e| panic!("reduced metropolis spec must build: {e}"))
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 /// Extracts `"key": <number>` from a committed baseline JSON file without a
 /// JSON parser dependency — the baseline writer controls the format, so a
 /// line-oriented scan is exact.

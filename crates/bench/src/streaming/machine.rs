@@ -1,14 +1,16 @@
 //! The per-station evaluation machine: one packet in, phase splices and
 //! window scoring out.
 //!
-//! [`StationMachine`] is the single per-packet body both executors drive.
+//! [`StationMachine`] is the single evaluation body both executors drive.
 //! It owns a station's defense schedule (`(session-relative second,
 //! pipeline)` phases), its per-sub-flow windower bank and its phase
-//! counters; [`offer`](StationMachine::offer) advances the schedule and
-//! processes one packet, [`finish`](StationMachine::finish) flushes the
-//! running phase and returns the [`ScheduledReport`]. Because the machine is
-//! fed one packet at a time, the pooled executor (station-at-a-time) and the
-//! virtual-time executor (packets interleaved across stations on a global
+//! counters; [`offer_slice`](StationMachine::offer_slice) advances the
+//! schedule and processes a time-ordered micro-batch (splitting it at
+//! phase-splice boundaries, so batching is byte-identical to a per-packet
+//! feed), [`finish`](StationMachine::finish) flushes the running phase and
+//! returns the [`ScheduledReport`]. Because the machine only ever sees its
+//! own station's packets in order, the pooled executor (station-at-a-time)
+//! and the virtual-time executor (station slices interleaved on a global
 //! clock) produce bit-identical per-station reports — stations share no
 //! mutable state, so interleaving cannot leak between them.
 
@@ -17,7 +19,7 @@ use classifier::online::{PrequentialEvaluator, SegmentStats};
 use classifier::stream::{FlowWindowers, WindowExample};
 use classifier::window::{FeatureMode, DEFAULT_MIN_PACKETS};
 use defenses::overhead::Overhead;
-use defenses::stage::StagePipeline;
+use defenses::stage::{StageOutput, StagePipeline};
 use traffic_gen::app::AppKind;
 use traffic_gen::packet::PacketRecord;
 use wlan_sim::time::SimDuration;
@@ -192,6 +194,17 @@ impl StationMachine {
         }
     }
 
+    /// Seeds every phase pipeline's scratch from a pool of recycled buffers
+    /// (see [`StagePipeline::adopt_scratch`]) so admission skips the growth
+    /// a fresh station's first batches would otherwise pay.
+    pub(crate) fn adopt_scratch(&mut self, pool: &mut Vec<StageOutput>) {
+        for (_, pipeline) in &mut self.phases {
+            let a = pool.pop().unwrap_or_default();
+            let b = pool.pop().unwrap_or_default();
+            pipeline.adopt_scratch(a, b);
+        }
+    }
+
     /// Splices in every phase whose time has come at `now` (possibly several
     /// between two packets).
     fn advance_schedule(&mut self, now: f64, scorer: &mut dyn WindowScorer) {
@@ -218,26 +231,11 @@ impl StationMachine {
         }
     }
 
-    /// Feeds one packet: advances the schedule, then runs the packet through
-    /// the active pipeline into the windower bank, scoring whatever closes.
-    pub(crate) fn offer(&mut self, packet: &PacketRecord, scorer: &mut dyn WindowScorer) {
-        self.advance_schedule(packet.time.as_secs_f64(), scorer);
-        self.packets += 1;
-        let pipeline = &mut self.phases[self.index].1;
-        let windowers = &mut self.windowers;
-        let windows = &mut self.windows;
-        let hits = &mut self.hits;
-        pipeline.process(packet, |flow, staged| {
-            if let Some(example) = windowers.push(flow as usize, staged) {
-                score_window(scorer, &example, windows, hits);
-            }
-        });
-    }
-
     /// Feeds a time-ordered micro-batch — the batched fast path, byte-
-    /// identical to offering each packet in turn: the slice is split at
-    /// phase-splice boundaries, so each sub-run flows through exactly the
-    /// pipeline [`offer`](Self::offer) would have used, in one
+    /// identical to feeding each packet in turn through
+    /// [`StagePipeline::process`]: the slice is split at phase-splice
+    /// boundaries, so each sub-run flows through exactly the pipeline a
+    /// per-packet feed would have used, in one
     /// [`StagePipeline::process_batch`] call instead of one per packet.
     pub(crate) fn offer_slice(&mut self, packets: &[PacketRecord], scorer: &mut dyn WindowScorer) {
         let mut rest = packets;
@@ -268,7 +266,17 @@ impl StationMachine {
 
     /// Session end: closes the running phase, reports any phase scheduled
     /// past the end as empty, and returns the station's report.
-    pub(crate) fn finish(mut self, scorer: &mut dyn WindowScorer) -> ScheduledReport {
+    pub(crate) fn finish(self, scorer: &mut dyn WindowScorer) -> ScheduledReport {
+        self.finish_with(scorer, None)
+    }
+
+    /// [`finish`](Self::finish), optionally reclaiming every phase
+    /// pipeline's scratch buffers into `reclaim` for the next admission.
+    pub(crate) fn finish_with(
+        mut self,
+        scorer: &mut dyn WindowScorer,
+        mut reclaim: Option<&mut Vec<StageOutput>>,
+    ) -> ScheduledReport {
         close_phase(
             &mut self.phases[self.index].1,
             &mut self.windowers,
@@ -283,14 +291,24 @@ impl StationMachine {
             overhead: self.phases[self.index].1.overhead(),
             segment: scorer.end_phase(),
         });
-        for (from_secs, pipeline) in self.phases.into_iter().skip(self.index + 1) {
-            self.reports.push(PhaseReport {
-                from_secs,
-                windows: 0,
-                windows_identified: 0,
-                overhead: pipeline.overhead(),
-                segment: scorer.end_phase(),
-            });
+        let index = self.index;
+        for (i, (from_secs, mut pipeline)) in self.phases.into_iter().enumerate() {
+            if i > index {
+                self.reports.push(PhaseReport {
+                    from_secs,
+                    windows: 0,
+                    windows_identified: 0,
+                    overhead: pipeline.overhead(),
+                    segment: scorer.end_phase(),
+                });
+            }
+            if let Some(pool) = reclaim.as_deref_mut() {
+                let (mut a, mut b) = pipeline.release_scratch();
+                a.clear();
+                b.clear();
+                pool.push(a);
+                pool.push(b);
+            }
         }
         ScheduledReport {
             app: self.app,

@@ -242,6 +242,36 @@ impl<'a> StationRun<'a> {
     }
 }
 
+/// Per-worker recycled allocations: the drain micro-batch plus a pool of
+/// stage scratch buffers handed to pipelines at admission
+/// ([`AdmittedStation::adopt_scratch`]) and reclaimed at retirement
+/// ([`AdmittedStation::finish_into`]), so high-churn populations pay the
+/// buffer growth once per worker instead of once per admission.
+#[derive(Debug, Default)]
+pub(crate) struct StationScratch {
+    batch: Vec<PacketRecord>,
+    outputs: Vec<defenses::stage::StageOutput>,
+}
+
+impl StationScratch {
+    pub(crate) fn new() -> Self {
+        StationScratch {
+            batch: Vec::with_capacity(STAGE_BATCH),
+            outputs: Vec::new(),
+        }
+    }
+}
+
+/// What one coalesced [`drain_until`](AdmittedStation::drain_until) run did.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DrainRun {
+    /// Wall-clock second of the last packet processed (`None` when the run
+    /// processed no packet at all).
+    pub(crate) last_secs: Option<f64>,
+    /// Packets processed during the run.
+    pub(crate) packets: u64,
+}
+
 /// A station that has been admitted: live pipelines, a peekable source, and
 /// the machine driving both. Only admitted stations hold per-station state.
 pub(crate) struct AdmittedStation<'a> {
@@ -252,50 +282,79 @@ pub(crate) struct AdmittedStation<'a> {
 
 impl AdmittedStation<'_> {
     /// Wall-clock time of the station's next packet (`None` once the source
-    /// is exhausted) — the timestamp its next-packet event carries in the
+    /// is exhausted) — the timestamp its next event carries in the
     /// virtual-time heap.
     pub(crate) fn next_wall_secs(&mut self) -> Option<f64> {
         self.source.next_time_secs().map(|t| self.arrival_secs + t)
     }
 
-    /// Processes exactly one packet; returns `false` when the source is
-    /// exhausted.
-    pub(crate) fn step(&mut self, scorer: &mut dyn WindowScorer) -> bool {
-        match self.source.next_packet() {
-            Some(packet) => {
-                self.machine.offer(&packet, scorer);
-                true
-            }
-            None => false,
-        }
+    /// Seeds the station's phase pipelines with recycled scratch buffers.
+    pub(crate) fn adopt_scratch(&mut self, scratch: &mut StationScratch) {
+        self.machine.adopt_scratch(&mut scratch.outputs);
     }
 
-    /// Drains the whole source in [`STAGE_BATCH`]-sized micro-batches — the
-    /// station-at-a-time fast path, byte-identical to stepping per packet
-    /// (the virtual-time executor keeps [`step`](Self::step) so it can
-    /// interleave stations on the global clock).
-    pub(crate) fn drain(&mut self, scorer: &mut dyn WindowScorer) {
-        let mut batch: Vec<PacketRecord> = Vec::with_capacity(STAGE_BATCH);
+    /// Drains every packet whose wall-clock time is strictly before
+    /// `horizon` (the whole source when `None`) in [`STAGE_BATCH`]-sized
+    /// micro-batches — the coalesced fast path, byte-identical to stepping
+    /// per packet because [`StationMachine::offer_slice`] splits each batch
+    /// at phase-splice boundaries. The caller's `scratch` batch is reused
+    /// across runs and stations.
+    pub(crate) fn drain_until(
+        &mut self,
+        horizon: Option<f64>,
+        scratch: &mut StationScratch,
+        scorer: &mut dyn WindowScorer,
+    ) -> DrainRun {
+        let mut run = DrainRun {
+            last_secs: None,
+            packets: 0,
+        };
+        let batch = &mut scratch.batch;
         loop {
             batch.clear();
             while batch.len() < STAGE_BATCH {
-                match self.source.next_packet() {
-                    Some(packet) => batch.push(packet),
-                    None => break,
+                let Some(t) = self.source.next_time_secs() else {
+                    break;
+                };
+                if horizon.is_some_and(|h| self.arrival_secs + t >= h) {
+                    break;
                 }
+                batch.push(
+                    self.source
+                        .next_packet()
+                        .expect("a peeked time has a packet"),
+                );
             }
-            if batch.is_empty() {
-                break;
-            }
-            self.machine.offer_slice(&batch, scorer);
+            let Some(last) = batch.last() else { break };
+            run.last_secs = Some(self.arrival_secs + last.time.as_secs_f64());
+            run.packets += batch.len() as u64;
+            self.machine.offer_slice(batch, scorer);
             if batch.len() < STAGE_BATCH {
                 break;
             }
         }
+        run
+    }
+
+    /// Drains the whole source in [`STAGE_BATCH`]-sized micro-batches — the
+    /// station-at-a-time fast path, byte-identical to stepping per packet.
+    pub(crate) fn drain(&mut self, scorer: &mut dyn WindowScorer) {
+        let mut scratch = StationScratch::new();
+        self.drain_until(None, &mut scratch, scorer);
     }
 
     /// Retires the station and returns its report.
     pub(crate) fn finish(self, scorer: &mut dyn WindowScorer) -> ScheduledReport {
         self.machine.finish(scorer)
+    }
+
+    /// [`finish`](Self::finish), reclaiming the phase pipelines' scratch
+    /// buffers into the per-worker pool for the next admission.
+    pub(crate) fn finish_into(
+        self,
+        scorer: &mut dyn WindowScorer,
+        scratch: &mut StationScratch,
+    ) -> ScheduledReport {
+        self.machine.finish_with(scorer, Some(&mut scratch.outputs))
     }
 }

@@ -10,31 +10,45 @@
 //! worker drives a **binary event heap keyed on virtual timestamps**. A
 //! station is represented by an *admission event* at its wall-clock arrival
 //! until that event fires — no generator, pipeline or windower state exists
-//! before admission — and afterwards by a single *next-packet event* whose
-//! timestamp is peeked from its lazy source. When a source is exhausted the
-//! station retires and every byte of its state drops. Peak memory is
-//! therefore O(active stations), not O(population): a million-station day
-//! can stream through a heap that never holds more than the few thousand
-//! stations on air at once (`scenarios/metropolis.toml` is the committed
-//! proof).
+//! before admission. When a source is exhausted the station retires and
+//! every byte of its state drops. Peak memory is therefore O(active
+//! stations), not O(population): a million-station day can stream through a
+//! heap that never holds more than the few thousand stations on air at once
+//! (`scenarios/metropolis.toml` is the committed proof).
 //!
-//! Stations are mutually independent (the shared adversary is only read;
-//! live scorers are per-station forks), so per-station reports are
-//! **bit-identical** between both executors and any worker count — the
-//! equivalence the proptests in `tests/executor_equivalence.rs` enforce.
-//! The cross-shard view is deterministic too: every worker logs its
-//! admissions and retirements with their virtual timestamps, and the logs
-//! are merge-sorted on `(time, station, kind)` after the join — a canonical
-//! global timeline (and its peak-active statistic in [`ExecutorStats`])
-//! that is the same for 1, 2 or 8 workers, because each record's timestamp
-//! derives from the station alone, never from scheduling.
+//! # Event coalescing
+//!
+//! Events are **slice-grained**, not packet-grained. When a station's event
+//! fires, the worker drains a whole run of its packets through the batched
+//! [`StationMachine::offer_slice`](super::machine::StationMachine) path —
+//! to source exhaustion by default, or to a configurable `max_slice`
+//! horizon — and re-enters the heap only at that horizon. Coalescing is
+//! **unobservable by construction**: stations are mutually independent (the
+//! shared adversary is only read; live scorers are per-station forks), so
+//! no station's report can depend on how packets of *other* stations were
+//! interleaved between its own; and the executor's own statistics derive
+//! from admission/retirement timestamps (arrival and last-packet time),
+//! which the station's source alone determines. Draining a million packets
+//! at one event is therefore bit-identical to popping a million heap events
+//! — the equivalence `tests/executor_equivalence.rs` pins against both the
+//! pooled executor and per-packet-sized horizons at 1/2/8 workers.
+//!
+//! The cross-shard view is deterministic too: every worker appends
+//! admissions and retirements to its log **in heap pop order** — which is
+//! exactly the canonical `(time, station, admit-before-retire)` order,
+//! because retirements are heap events themselves — and the per-shard logs
+//! are k-way merged after the join into one canonical timeline (and its
+//! peak-active statistic in [`ExecutorStats`]) that is the same for 1, 2 or
+//! 8 workers: each record's timestamp derives from the station alone, never
+//! from scheduling.
 
 use super::machine::{ScheduledReport, WindowScorer};
-use super::run::StationRun;
+use super::run::{StationRun, StationScratch};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
+use wlan_sim::time::SimDuration;
 
 /// The bounded work-stealing pool shared by the batch and online station
 /// runners (and the scenario engine): at most `available_parallelism`
@@ -85,13 +99,36 @@ pub enum Executor {
         /// Worker (shard) count; the machine's parallelism when `None`.
         /// Reports are identical for every worker count.
         workers: Option<usize>,
+        /// Longest virtual span one station drains per event before
+        /// re-entering the heap; `None` (the default) drains to source
+        /// exhaustion. Purely a scheduling knob: reports are identical for
+        /// every horizon, only the coalescing ratio changes. Must be
+        /// positive — a horizon of at least 1 µs guarantees every resume
+        /// event makes progress.
+        max_slice: Option<SimDuration>,
     },
 }
 
 impl Executor {
-    /// The default virtual-time executor (parallelism-sized shard count).
+    /// The default virtual-time executor (parallelism-sized shard count,
+    /// unbounded coalescing).
     pub fn virtual_time() -> Self {
-        Executor::VirtualTime { workers: None }
+        Executor::VirtualTime {
+            workers: None,
+            max_slice: None,
+        }
+    }
+
+    /// Caps the virtual span one station drains per event (a no-op on
+    /// [`Executor::Pooled`]).
+    pub fn with_max_slice(self, max_slice: SimDuration) -> Self {
+        match self {
+            Executor::VirtualTime { workers, .. } => Executor::VirtualTime {
+                workers,
+                max_slice: Some(max_slice),
+            },
+            other => other,
+        }
     }
 
     /// The executor's spec tag (`"pooled"` / `"virtual_time"`).
@@ -130,6 +167,25 @@ pub struct ExecutorStats {
     /// Last virtual second of the run (0 under the pool, which has no
     /// common clock).
     pub virtual_secs: f64,
+    /// Heap events popped across all shards (admissions + resumes +
+    /// retirements; 0 under the pool). Invariant across worker counts for a
+    /// fixed `max_slice`: every event's timestamp — and hence every run's
+    /// extent — derives from its station alone.
+    pub events_popped: u64,
+    /// Packets pulled from every station's source.
+    pub packets: u64,
+}
+
+impl ExecutorStats {
+    /// Packets drained per heap event — the coalescing ratio (0 when no
+    /// events fired, i.e. under the pool).
+    pub fn packets_per_event(&self) -> f64 {
+        if self.events_popped == 0 {
+            0.0
+        } else {
+            self.packets as f64 / self.events_popped as f64
+        }
+    }
 }
 
 /// A population's execution: per-station results in station order, plus the
@@ -151,9 +207,29 @@ struct ChurnRecord {
     delta: i8,
 }
 
+/// The canonical timeline order: `(time, station, admit-before-retire)`.
+/// Shards append records in exactly this order (see [`drive_shard`]), which
+/// is what makes the post-join k-way merge sufficient.
+fn churn_order(a: &ChurnRecord, b: &ChurnRecord) -> Ordering {
+    a.at_secs
+        .total_cmp(&b.at_secs)
+        .then_with(|| a.station.cmp(&b.station))
+        .then_with(|| b.delta.cmp(&a.delta))
+}
+
+/// One shard's contribution to an execution: its churn log (already in
+/// canonical order) plus its event/packet counters.
+#[derive(Debug, Default)]
+struct ShardLog {
+    records: Vec<ChurnRecord>,
+    events_popped: u64,
+    packets: u64,
+}
+
 /// An event in a shard's heap, ordered by `(time, station, kind)` with
-/// admissions before packets at equal timestamps. `BinaryHeap` is a
-/// max-heap, so `Ord` is reversed here to pop the earliest event first.
+/// admissions before resumes before retirements at equal timestamps.
+/// `BinaryHeap` is a max-heap, so `Ord` is reversed here to pop the
+/// earliest event first.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Event {
     at_secs: f64,
@@ -163,8 +239,16 @@ struct Event {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
+    /// Build the station's state and drain its first slice.
     Admit,
-    Packet,
+    /// Drain the next slice of a live station (only exists under a
+    /// `max_slice` horizon).
+    Resume,
+    /// Log the departure of a station whose state already dropped. Carried
+    /// as a heap event so the shard's log is written in pop order — i.e.
+    /// already canonically sorted — even though an unbounded drain learns
+    /// the retirement time far ahead of the virtual clock.
+    Retire,
 }
 
 impl Eq for Event {}
@@ -213,36 +297,42 @@ impl Executor {
     {
         match *self {
             Executor::Pooled => {
-                let results: Result<Vec<T>, String> = pooled(count, |i| {
+                let results: Result<Vec<(T, u64)>, String> = pooled(count, |i| {
                     let mut scorer = scorer_of(i);
                     let report = run_of(i).run(&mut scorer)?;
-                    Ok(finish(i, report, scorer))
+                    let packets = report.packets;
+                    Ok((finish(i, report, scorer), packets))
                 })
                 .into_iter()
                 .collect();
                 let workers = default_parallelism().min(count.max(1));
+                let pairs = results?;
+                let packets = pairs.iter().map(|(_, p)| p).sum();
                 Ok(ExecutionOutcome {
-                    results: results?,
+                    results: pairs.into_iter().map(|(t, _)| t).collect(),
                     stats: ExecutorStats {
                         workers,
                         admitted: count,
                         peak_active: workers.min(count),
                         virtual_secs: 0.0,
+                        events_popped: 0,
+                        packets,
                     },
                 })
             }
-            Executor::VirtualTime { workers } => {
+            Executor::VirtualTime { workers, max_slice } => {
                 let workers = workers.unwrap_or_else(default_parallelism).max(1);
-                virtual_time(workers, count, &run_of, &scorer_of, &finish)
+                virtual_time(workers, max_slice, count, &run_of, &scorer_of, &finish)
             }
         }
     }
 }
 
 /// The virtual-time core: per-worker event heaps over station shards, then
-/// a deterministic merge of the per-shard churn logs.
+/// a deterministic k-way merge of the per-shard churn logs.
 fn virtual_time<'a, S, T>(
     workers: usize,
+    max_slice: Option<SimDuration>,
     count: usize,
     run_of: &(impl Fn(usize) -> StationRun<'a> + Sync),
     scorer_of: &(impl Fn(usize) -> S + Sync),
@@ -253,7 +343,9 @@ where
     T: Send,
 {
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let logs: Vec<Mutex<Vec<ChurnRecord>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let logs: Vec<Mutex<ShardLog>> = (0..workers)
+        .map(|_| Mutex::new(ShardLog::default()))
+        .collect();
     // The first error by station index, so failures are deterministic too.
     let first_error: Mutex<Option<(usize, String)>> = Mutex::new(None);
     std::thread::scope(|scope| {
@@ -262,7 +354,9 @@ where
             let logs = &logs;
             let first_error = &first_error;
             scope.spawn(move || {
-                let result = drive_shard(worker, workers, count, run_of, scorer_of, finish, slots);
+                let result = drive_shard(
+                    worker, workers, max_slice, count, run_of, scorer_of, finish, slots,
+                );
                 match result {
                     Ok(log) => *logs[worker].lock().expect("log poisoned") = log,
                     Err((station, e)) => {
@@ -278,24 +372,39 @@ where
     if let Some((station, e)) = first_error.into_inner().expect("error slot poisoned") {
         return Err(format!("station {station}: {e}"));
     }
+    let shards: Vec<ShardLog> = logs
+        .into_iter()
+        .map(|log| log.into_inner().expect("log poisoned"))
+        .collect();
     // Deterministic cross-shard time merging: the union of the per-shard
     // logs is the same multiset for every worker count (each record's
-    // timestamp derives from its station alone), so sorting it on
-    // (time, station, admit-before-retire) yields one canonical timeline.
-    let mut timeline: Vec<ChurnRecord> = Vec::with_capacity(2 * count);
-    for log in logs {
-        timeline.extend(log.into_inner().expect("log poisoned"));
-    }
-    timeline.sort_by(|a, b| {
-        a.at_secs
-            .total_cmp(&b.at_secs)
-            .then_with(|| a.station.cmp(&b.station))
-            .then_with(|| b.delta.cmp(&a.delta))
-    });
+    // timestamp derives from its station alone), and each shard wrote its
+    // log in heap pop order — already the canonical (time, station,
+    // admit-before-retire) order — so a streaming k-way merge folds the
+    // canonical timeline without ever materialising or sorting it.
+    debug_assert!(shards.iter().all(|log| {
+        log.records
+            .windows(2)
+            .all(|w| churn_order(&w[0], &w[1]) != Ordering::Greater)
+    }));
+    let events_popped = shards.iter().map(|log| log.events_popped).sum();
+    let packets = shards.iter().map(|log| log.packets).sum();
+    let total: usize = shards.iter().map(|log| log.records.len()).sum();
+    let mut cursors = vec![0usize; shards.len()];
     let mut active = 0usize;
     let mut peak_active = 0usize;
     let mut virtual_secs = 0.0f64;
-    for record in &timeline {
+    for _ in 0..total {
+        let mut best: Option<(usize, &ChurnRecord)> = None;
+        for (shard, log) in shards.iter().enumerate() {
+            if let Some(record) = log.records.get(cursors[shard]) {
+                if best.is_none_or(|(_, b)| churn_order(record, b) == Ordering::Less) {
+                    best = Some((shard, record));
+                }
+            }
+        }
+        let (shard, record) = best.expect("merge pops exactly the counted records");
+        cursors[shard] += 1;
         if record.delta > 0 {
             active += 1;
             peak_active = peak_active.max(active);
@@ -319,24 +428,29 @@ where
             admitted: count,
             peak_active,
             virtual_secs,
+            events_popped,
+            packets,
         },
     })
 }
 
-/// Drives one shard's heap to exhaustion. Returns the shard's churn log, or
-/// the lowest-index station whose admission failed.
+/// Drives one shard's heap to exhaustion. Returns the shard's churn log and
+/// counters, or the lowest-index station whose admission failed.
+#[allow(clippy::too_many_arguments)]
 fn drive_shard<'a, S, T>(
     worker: usize,
     workers: usize,
+    max_slice: Option<SimDuration>,
     count: usize,
     run_of: &impl Fn(usize) -> StationRun<'a>,
     scorer_of: &impl Fn(usize) -> S,
     finish: &impl Fn(usize, ScheduledReport, S) -> T,
     slots: &[Mutex<Option<T>>],
-) -> Result<Vec<ChurnRecord>, (usize, String)>
+) -> Result<ShardLog, (usize, String)>
 where
     S: WindowScorer,
 {
+    let max_slice_secs = max_slice.map(|d| d.as_secs_f64());
     // One live station per entry; station i lives at local slot (i - worker)
     // / workers. A `None` is 8 bytes of bookkeeping — the O(population)
     // floor — while the boxed state behind a `Some` is the O(active) part.
@@ -355,52 +469,61 @@ where
             kind: EventKind::Admit,
         });
     }
-    let mut log: Vec<ChurnRecord> = Vec::with_capacity(2 * shard_len);
+    let mut scratch = StationScratch::new();
+    let mut log = ShardLog {
+        records: Vec::with_capacity(2 * shard_len),
+        ..ShardLog::default()
+    };
     while let Some(event) = heap.pop() {
+        log.events_popped += 1;
         match event.kind {
             EventKind::Admit => {
-                let admitted = run_of(event.station)
+                let mut admitted = run_of(event.station)
                     .admit()
                     .map_err(|e| (event.station, e))?;
-                let mut station = Box::new(LiveStation {
+                admitted.adopt_scratch(&mut scratch);
+                let station = Box::new(LiveStation {
                     inner: admitted,
                     scorer: scorer_of(event.station),
                 });
-                log.push(ChurnRecord {
+                log.records.push(ChurnRecord {
                     at_secs: event.at_secs,
                     station: event.station,
                     delta: 1,
                 });
-                match station.inner.next_wall_secs() {
-                    Some(at_secs) => {
-                        heap.push(Event {
-                            at_secs,
-                            station: event.station,
-                            kind: EventKind::Packet,
-                        });
-                        live[local(event.station)] = Some(station);
-                    }
-                    // A station with no packets retires the moment it
-                    // arrives.
-                    None => retire(event, *station, finish, slots, &mut log),
-                }
+                let slot = local(event.station);
+                drain_slice(
+                    event,
+                    station,
+                    max_slice_secs,
+                    &mut heap,
+                    &mut live[slot],
+                    &mut scratch,
+                    finish,
+                    slots,
+                    &mut log,
+                );
             }
-            EventKind::Packet => {
-                let slot = &mut live[local(event.station)];
-                let station = slot.as_mut().expect("packet event for a live station");
-                station.inner.step(&mut station.scorer);
-                match station.inner.next_wall_secs() {
-                    Some(at_secs) => heap.push(Event {
-                        at_secs,
-                        station: event.station,
-                        kind: EventKind::Packet,
-                    }),
-                    None => {
-                        let station = slot.take().expect("retiring a live station");
-                        retire(event, *station, finish, slots, &mut log);
-                    }
-                }
+            EventKind::Resume => {
+                let slot = local(event.station);
+                let station = live[slot].take().expect("resume event for a live station");
+                drain_slice(
+                    event,
+                    station,
+                    max_slice_secs,
+                    &mut heap,
+                    &mut live[slot],
+                    &mut scratch,
+                    finish,
+                    slots,
+                    &mut log,
+                );
             }
+            EventKind::Retire => log.records.push(ChurnRecord {
+                at_secs: event.at_secs,
+                station: event.station,
+                delta: -1,
+            }),
         }
     }
     Ok(log)
@@ -412,24 +535,58 @@ struct LiveStation<'a, S> {
     scorer: S,
 }
 
-/// Retires a station at `event.at_secs`: finishes its machine, stores its
-/// result, logs the departure, and drops every byte of its state.
-fn retire<'a, S, T>(
+/// Drains one coalesced slice of `station` starting at `event`: everything
+/// up to `event time + max_slice` (everything, when unbounded), then either
+/// re-enters the heap at the next packet's time or retires on the spot —
+/// finishing the machine, reclaiming its scratch, storing the result, and
+/// pushing a `Retire` event at the last packet's wall time so the departure
+/// is logged in canonical order.
+#[allow(clippy::too_many_arguments)]
+fn drain_slice<'a, S, T>(
     event: Event,
-    station: LiveStation<'a, S>,
+    mut station: Box<LiveStation<'a, S>>,
+    max_slice_secs: Option<f64>,
+    heap: &mut BinaryHeap<Event>,
+    slot: &mut Option<Box<LiveStation<'a, S>>>,
+    scratch: &mut StationScratch,
     finish: &impl Fn(usize, ScheduledReport, S) -> T,
     slots: &[Mutex<Option<T>>],
-    log: &mut Vec<ChurnRecord>,
+    log: &mut ShardLog,
 ) where
     S: WindowScorer,
 {
-    let LiveStation { inner, mut scorer } = station;
-    let report = inner.finish(&mut scorer);
-    *slots[event.station].lock().expect("result slot poisoned") =
-        Some(finish(event.station, report, scorer));
-    log.push(ChurnRecord {
-        at_secs: event.at_secs,
-        station: event.station,
-        delta: -1,
-    });
+    // A resume event sits at its station's next packet time, so any
+    // positive horizon admits at least that packet: slices always progress.
+    let horizon = max_slice_secs.map(|d| event.at_secs + d);
+    let run = {
+        let LiveStation { inner, scorer } = &mut *station;
+        inner.drain_until(horizon, scratch, scorer)
+    };
+    log.packets += run.packets;
+    match station.inner.next_wall_secs() {
+        Some(at_secs) => {
+            heap.push(Event {
+                at_secs,
+                station: event.station,
+                kind: EventKind::Resume,
+            });
+            *slot = Some(station);
+        }
+        None => {
+            // The source is exhausted: finish now so the station's state
+            // drops immediately, but log the departure via a heap event at
+            // the retirement timestamp (last packet's wall time; arrival
+            // for a station with no packets — exactly the per-packet
+            // executor's timestamps).
+            let LiveStation { inner, mut scorer } = *station;
+            let report = inner.finish_into(&mut scorer, scratch);
+            *slots[event.station].lock().expect("result slot poisoned") =
+                Some(finish(event.station, report, scorer));
+            heap.push(Event {
+                at_secs: run.last_secs.unwrap_or(event.at_secs),
+                station: event.station,
+                kind: EventKind::Retire,
+            });
+        }
+    }
 }

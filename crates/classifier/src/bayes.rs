@@ -16,7 +16,6 @@
 //! spreads never catastrophically cancel.
 
 use crate::dataset::Dataset;
-use crate::svm::argmax;
 use crate::{Classifier, OnlineClassifier};
 use serde::{Deserialize, Serialize};
 
@@ -111,7 +110,34 @@ impl GaussianNaiveBayes {
 
 impl Classifier for GaussianNaiveBayes {
     fn predict(&self, features: &[f64]) -> usize {
-        argmax(&self.log_posteriors(features))
+        // Streaming argmax over the per-class log posteriors, computed with
+        // exactly the arithmetic of `log_posteriors` but never collected.
+        let total = self.total.max(1) as f64;
+        let mut best = 0;
+        let mut best_value = f64::NEG_INFINITY;
+        for c in 0..self.counts.len() {
+            let prior = (self.counts[c] as f64 / total).max(1e-12);
+            let n = self.counts[c] as f64;
+            let mut lp = prior.ln();
+            for ((x, m), m2) in features
+                .iter()
+                .take(self.dim)
+                .zip(&self.means[c])
+                .zip(&self.m2s[c])
+            {
+                let v = if self.counts[c] == 0 {
+                    VARIANCE_FLOOR
+                } else {
+                    (m2 / n).max(VARIANCE_FLOOR)
+                };
+                lp += -0.5 * ((x - m).powi(2) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+            }
+            if lp > best_value {
+                best_value = lp;
+                best = c;
+            }
+        }
+        best
     }
 
     fn name(&self) -> &'static str {
@@ -183,6 +209,19 @@ mod tests {
             .count();
         assert!(correct as f64 / data.len() as f64 > 0.95);
         assert_eq!(nb.name(), "naive-bayes");
+    }
+
+    #[test]
+    fn streaming_predict_matches_argmax_over_log_posteriors() {
+        use crate::svm::argmax;
+        let data = gaussian_blobs(9);
+        let nb = GaussianNaiveBayes::train(&data);
+        for e in data.examples() {
+            assert_eq!(
+                nb.predict(&e.features),
+                argmax(&nb.log_posteriors(&e.features))
+            );
+        }
     }
 
     #[test]

@@ -148,8 +148,23 @@ impl AdversaryEnsemble {
 
     /// Predicts a single feature vector with every member and returns the
     /// majority vote (ties broken in favour of the first member, the SVM).
+    ///
+    /// For the committed three-member shape (SVM, NN, naive Bayes) the vote
+    /// short-circuits: two agreeing members already decide a three-way vote,
+    /// so the third member only runs as arbiter when the first two disagree,
+    /// and a three-way split falls back to the first member exactly as
+    /// [`majority_vote`]'s tie rule does.
     pub fn predict_majority(&self, features: &[f64]) -> usize {
         let normalized = self.normalizer.apply(features);
+        if let [first, second, third] = self.classifiers.as_slice() {
+            let m0 = first.predict(&normalized);
+            let m1 = second.predict(&normalized);
+            if m0 == m1 {
+                return m0;
+            }
+            let m2 = third.predict(&normalized);
+            return if m2 == m1 { m1 } else { m0 };
+        }
         let predictions: Vec<usize> = self
             .classifiers
             .iter()
@@ -268,6 +283,29 @@ mod tests {
         assert_eq!(ensemble.predict_majority(&[0.0, 0.0, 0.0]), 0);
         assert_eq!(ensemble.predict_majority(&[8.0, 0.0, 4.0]), 1);
         assert_eq!(ensemble.predict_majority(&[0.0, 8.0, -4.0]), 2);
+    }
+
+    #[test]
+    fn short_circuit_vote_matches_the_general_majority_rule() {
+        let train = blobs(7, 3.0);
+        let ensemble = AdversaryEnsemble::train(&train, &EnsembleConfig::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            // Points all over the space, including far between the blobs,
+            // so the members genuinely disagree on a fraction of them.
+            let f: Vec<f64> = (0..3).map(|_| rng.gen_range(-4.0..12.0)).collect();
+            let normalized = ensemble.normalizer.apply(&f);
+            let predictions: Vec<usize> = ensemble
+                .classifiers
+                .iter()
+                .map(|c| c.predict(&normalized))
+                .collect();
+            assert_eq!(
+                ensemble.predict_majority(&f),
+                majority_vote(&predictions, ensemble.class_count),
+                "members voted {predictions:?}"
+            );
+        }
     }
 
     #[test]

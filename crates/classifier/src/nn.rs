@@ -11,7 +11,6 @@
 //! [`train`](NeuralNet::train) loop.
 
 use crate::dataset::Dataset;
-use crate::svm::argmax;
 use crate::{Classifier, OnlineClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -237,7 +236,29 @@ fn softmax(logits: &[f64]) -> Vec<f64> {
 
 impl Classifier for NeuralNet {
     fn predict(&self, features: &[f64]) -> usize {
-        argmax(&self.probabilities(features))
+        // Softmax is strictly monotonic, so the argmax of the logits is the
+        // argmax of the probabilities — the exp/normalise pass (and its
+        // vectors) would be dead work here. The hidden layer is computed
+        // exactly as in `forward`.
+        let hidden: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| {
+                let z: f64 = w.iter().zip(features).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                z.max(0.0)
+            })
+            .collect();
+        let mut best = 0;
+        let mut best_value = f64::NEG_INFINITY;
+        for (i, (w, b)) in self.w2.iter().zip(&self.b2).enumerate() {
+            let logit: f64 = w.iter().zip(&hidden).map(|(wi, hi)| wi * hi).sum::<f64>() + b;
+            if logit > best_value {
+                best_value = logit;
+                best = i;
+            }
+        }
+        best
     }
 
     fn name(&self) -> &'static str {
@@ -293,6 +314,19 @@ mod tests {
         assert!(accuracy > 0.9, "accuracy {accuracy}");
         assert_eq!(nn.class_count(), 2);
         assert_eq!(nn.name(), "nn");
+    }
+
+    #[test]
+    fn streaming_predict_matches_argmax_over_probabilities() {
+        use crate::svm::argmax;
+        let data = ring_dataset(7);
+        let nn = NeuralNet::train(&data, &NnConfig::default(), 8);
+        for e in data.examples() {
+            assert_eq!(
+                nn.predict(&e.features),
+                argmax(&nn.probabilities(&e.features))
+            );
+        }
     }
 
     #[test]

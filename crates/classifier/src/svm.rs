@@ -120,8 +120,18 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 impl Classifier for LinearSvm {
     fn predict(&self, features: &[f64]) -> usize {
-        let scores = self.decision_values(features);
-        argmax(&scores)
+        // Streaming [`argmax`] over the decision values (same first-maximum
+        // rule), so the per-call score vector is never materialised.
+        let mut best = 0;
+        let mut best_value = f64::NEG_INFINITY;
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let v = dot(w, features) + b;
+            if v > best_value {
+                best_value = v;
+                best = i;
+            }
+        }
+        best
     }
 
     fn name(&self) -> &'static str {
@@ -159,6 +169,9 @@ impl OnlineClassifier for LinearSvm {
     }
 }
 
+/// First-maximum rule every streaming `predict` mirrors inline; kept as the
+/// reference implementation for the equivalence tests.
+#[cfg(test)]
 pub(crate) fn argmax(values: &[f64]) -> usize {
     let mut best = 0;
     let mut best_value = f64::NEG_INFINITY;
@@ -247,6 +260,18 @@ mod tests {
     fn argmax_picks_first_maximum() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
         assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn streaming_predict_matches_argmax_over_decision_values() {
+        let data = separable_dataset(4, 30, 11);
+        let svm = LinearSvm::train(&data, &SvmConfig::default(), 11);
+        for e in data.examples() {
+            assert_eq!(
+                svm.predict(&e.features),
+                argmax(&svm.decision_values(&e.features))
+            );
+        }
     }
 
     #[test]

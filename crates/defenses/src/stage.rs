@@ -192,6 +192,29 @@ impl StagePipeline {
         self.stages.is_empty()
     }
 
+    /// Seeds the ping-pong scratch with recycled buffers, keeping their
+    /// capacity so a freshly built pipeline skips the first batches' growth.
+    /// A no-op for buffers that already have capacity.
+    pub fn adopt_scratch(&mut self, a: StageOutput, b: StageOutput) {
+        if self.buf_a.capacity() < a.capacity() {
+            self.buf_a = a;
+            self.buf_a.clear();
+        }
+        if self.buf_b.capacity() < b.capacity() {
+            self.buf_b = b;
+            self.buf_b.clear();
+        }
+    }
+
+    /// Hands the ping-pong scratch back for recycling (the pipeline keeps
+    /// working afterwards, it just re-grows fresh buffers on demand).
+    pub fn release_scratch(&mut self) -> (StageOutput, StageOutput) {
+        (
+            std::mem::take(&mut self.buf_a),
+            std::mem::take(&mut self.buf_b),
+        )
+    }
+
     /// Feeds one packet through every stage, handing each final
     /// `(flow, packet)` pair to `sink` in emission order.
     pub fn process<F: FnMut(FlowId, &PacketRecord)>(&mut self, packet: &PacketRecord, sink: F) {
