@@ -1,6 +1,6 @@
 # Local targets mirroring the CI jobs so local and CI runs are identical.
 
-.PHONY: verify build test fmt lint bench-compile bench-json stage-bench vtime-bench scenario-check scenario-json examples ci
+.PHONY: verify build test fmt lint bench-compile bench-json stage-bench score-bench vtime-bench scenario-check scenario-json examples ci
 
 # The tier-1 gate: exactly what the driver and the CI `test` job run.
 verify:
@@ -33,6 +33,15 @@ bench-json:
 # STAGE_BENCH_WARMUP / STAGE_BENCH_ITERS to trade accuracy for speed.
 stage-bench:
 	cargo run --release -p bench --bin stage_throughput -- --out stage-throughput.json --diff BENCH_pipeline.json
+
+# Scoring-plane profile: measures the adversary inference kernels (SVM, NN,
+# Bayes, and the majority-vote ensemble) single-row and sliced in
+# WINDOW_BATCH blocks, writes score-bench.json, and prints a non-blocking
+# diff of the committed score_*_pps keys against BENCH_pipeline.json.
+# Override STAGE_BENCH_WARMUP / STAGE_BENCH_ITERS / SCORE_BENCH_QUERIES to
+# trade accuracy for speed.
+score-bench:
+	cargo run --release -p bench --bin score_bench -- score-bench.json
 
 # Coalesced virtual-time executor smoke: runs the committed metropolis
 # scenario reduced to VTIME_BENCH_STATIONS stations (default 20k, the slice

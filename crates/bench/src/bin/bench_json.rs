@@ -42,8 +42,11 @@ use bench::scenario::{
     default_scenarios_dir, execute_scenario, load_spec, run_scenario, train_for, Scenario,
 };
 use bench::stagebench::{
-    defended_station_pps, peak_rss_bytes, per_stage_throughput, reduced_metropolis, MeasureOpts,
+    defended_station_pps, member_scoring_throughput, peak_rss_bytes, per_stage_throughput,
+    reduced_metropolis, scoring_workload, MeasureOpts,
 };
+use bench::WINDOW_BATCH;
+use classifier::ensemble::VoteScratch;
 use classifier::online::{OnlineAdversary, PrequentialEvaluator};
 use classifier::stream::StreamingWindower;
 use classifier::window::{windowed_examples, FeatureMode, DEFAULT_MIN_PACKETS};
@@ -143,7 +146,9 @@ fn adversary_train_evaluate(trace: &Trace, window: SimDuration, base: &OnlineAdv
 }
 
 /// Live prediction throughput: windowing + frozen majority-vote predictions
-/// from an already-trained online adversary, one pass over the packets.
+/// from an already-trained online adversary, one pass over the packets. The
+/// vote scratch is hoisted so the per-window cost is pure inference (the
+/// scratch-free path allocated per window, which dominated at these rates).
 fn adversary_predict_evaluate(
     trace: &Trace,
     window: SimDuration,
@@ -152,17 +157,65 @@ fn adversary_predict_evaluate(
     let app = trace.app().expect("bench trace is labelled");
     let mut windower =
         StreamingWindower::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut scratch = VoteScratch::new();
     let mut predictions = 0usize;
     let mut source = trace.stream();
     while let Some(packet) = source.next_packet() {
         if let Some((features, _)) = windower.push(&packet) {
-            std::hint::black_box(adversary.predict_majority(&features));
+            std::hint::black_box(adversary.predict_majority_with(&features, &mut scratch));
             predictions += 1;
         }
     }
     if let Some((features, _)) = windower.finish() {
-        std::hint::black_box(adversary.predict_majority(&features));
+        std::hint::black_box(adversary.predict_majority_with(&features, &mut scratch));
         predictions += 1;
+    }
+    std::hint::black_box(predictions);
+    trace.len()
+}
+
+/// Sliced prediction throughput: the same pass, but windows are buffered and
+/// scored in [`WINDOW_BATCH`] blocks through `predict_majority_slice` — the
+/// exact deferred-flush path the streaming machine runs, so the committed
+/// number tracks what scenario scoring actually costs.
+fn adversary_predict_slice_evaluate(
+    trace: &Trace,
+    window: SimDuration,
+    adversary: &OnlineAdversary,
+) -> usize {
+    let app = trace.app().expect("bench trace is labelled");
+    let mut windower =
+        StreamingWindower::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut scratch = VoteScratch::new();
+    let mut rows: Vec<f64> = Vec::new();
+    let mut out: Vec<usize> = Vec::new();
+    let mut dim = 0usize;
+    let mut buffered = 0usize;
+    let mut predictions = 0usize;
+    let mut source = trace.stream();
+    while let Some(packet) = source.next_packet() {
+        if let Some((features, _)) = windower.push(&packet) {
+            dim = features.len().max(1);
+            rows.extend_from_slice(&features);
+            buffered += 1;
+            if buffered == WINDOW_BATCH {
+                adversary.predict_majority_slice(&rows, dim, &mut out, &mut scratch);
+                predictions += out.len();
+                std::hint::black_box(&out);
+                rows.clear();
+                buffered = 0;
+            }
+        }
+    }
+    if let Some((features, _)) = windower.finish() {
+        dim = features.len().max(1);
+        rows.extend_from_slice(&features);
+        buffered += 1;
+    }
+    if buffered > 0 {
+        adversary.predict_majority_slice(&rows, dim, &mut out, &mut scratch);
+        predictions += out.len();
+        std::hint::black_box(&out);
     }
     std::hint::black_box(predictions);
     trace.len()
@@ -229,6 +282,14 @@ fn main() {
     let warm = warm_evaluator.adversary().clone();
     let (adversary_predict_pps, _) =
         measure(&mut || adversary_predict_evaluate(&trace, window, &warm));
+    let (adversary_predict_slice_pps, _) =
+        measure(&mut || adversary_predict_slice_evaluate(&trace, window, &warm));
+
+    // Scoring-plane kernels in isolation: each member's sliced rows/second
+    // over a packed query matrix at the real feature width, so a kernel
+    // regression is visible independently of windowing cost.
+    let scoring = scoring_workload(41, 8_192);
+    let score_throughput = member_scoring_throughput(&scoring, opts);
 
     // Online-vs-batch adversary accuracy against the transforming and
     // composed defenses (mean accuracy, the paper's metric).
@@ -347,8 +408,9 @@ fn main() {
     let eval_speedup = eval_streaming_pps / eval_batch_pps;
     let iterations = opts.iters;
     let stage_fields = stage_throughput.json_fields();
+    let score_fields = score_throughput.json_fields();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {iterations},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n{stage_fields},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json}{metropolis_json}\n}}\n"
+        "{{\n  \"bench\": \"pipeline\",\n  \"workload\": \"scenarios/throughput_baseline.toml (BitTorrent 60s, OR over 3 vifs, W=5s)\",\n  \"packets\": {packets},\n  \"iterations\": {iterations},\n  \"reshape_batch_pps\": {reshape_batch_pps:.0},\n  \"reshape_streaming_pps\": {reshape_streaming_pps:.0},\n  \"reshape_speedup\": {reshape_speedup:.2},\n  \"evaluate_batch_pps\": {eval_batch_pps:.0},\n  \"evaluate_streaming_pps\": {eval_streaming_pps:.0},\n  \"evaluate_speedup\": {eval_speedup:.2},\n{stage_fields},\n  \"defended_padding_pps\": {defended_padding_pps:.0},\n  \"defended_padding_overhead_pct\": {padding_overhead_pct:.2},\n  \"defended_morphing_pps\": {defended_morphing_pps:.0},\n  \"defended_morphing_overhead_pct\": {morphing_overhead_pct:.2},\n  \"defended_morph_or_pps\": {defended_morph_or_pps:.0},\n  \"defended_morph_or_overhead_pct\": {morph_or_overhead_pct:.2},\n  \"adversary_train_pps\": {adversary_train_pps:.0},\n  \"adversary_predict_pps\": {adversary_predict_pps:.0},\n  \"adversary_predict_slice_pps\": {adversary_predict_slice_pps:.0},\n{score_fields},\n  \"adversary_batch_accuracy_padding\": {batch_acc_padding:.3},\n  \"adversary_online_accuracy_padding\": {online_acc_padding:.3},\n  \"adversary_batch_accuracy_morph_or\": {batch_acc_morph_or:.3},\n  \"adversary_online_accuracy_morph_or\": {online_acc_morph_or:.3}{scenario_json}{metropolis_json}\n}}\n"
     );
     std::fs::write(&output, &json).expect("write baseline json");
     println!("{json}");

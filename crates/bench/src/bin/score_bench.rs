@@ -1,0 +1,70 @@
+//! Scoring-plane profile: the adversary inference kernels alone, as JSON.
+//!
+//! ```text
+//! cargo run --release -p bench --bin score_bench [OUTPUT.json]
+//! ```
+//!
+//! Builds the synthetic [`scoring_workload`] (the three ensemble members and
+//! the full majority-vote ensemble trained at the real feature width, plus a
+//! packed query matrix of `SCORE_BENCH_QUERIES` rows, default 8192) and
+//! measures each kernel **single-row and sliced** — sliced in `WINDOW_BATCH`
+//! blocks, the same granularity the streaming machine flushes — so the
+//! batching win is visible per kernel. Honours `STAGE_BENCH_WARMUP` /
+//! `STAGE_BENCH_ITERS` like the other profiling bins. Writes the profile to
+//! `OUTPUT.json` (default `score-bench.json`, uploaded as a CI artifact) and
+//! prints a **non-blocking** diff of the committed `score_*_pps` keys against
+//! the baseline in `SCORE_BENCH_BASELINE` (default `BENCH_pipeline.json`).
+//!
+//! [`scoring_workload`]: bench::stagebench::scoring_workload
+
+use bench::stagebench::{
+    diff_report, scoring_profile, scoring_workload, MeasureOpts, StageThroughput, SCORE_KEYS,
+};
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "score-bench.json".to_string());
+    let queries: usize = std::env::var("SCORE_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8_192);
+    let baseline_path =
+        std::env::var("SCORE_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let opts = MeasureOpts::from_env();
+
+    let workload = scoring_workload(41, queries);
+    let profile = scoring_profile(&workload, opts);
+
+    let json = format!(
+        "{{\n  \"bench\": \"score\",\n  \"workload\": \"synthetic 6-class scoring workload, {} rows x {} features\",\n  \"rows\": {},\n  \"dim\": {},\n  \"iterations\": {},\n{}\n}}\n",
+        workload.count(),
+        workload.dim,
+        workload.count(),
+        workload.dim,
+        opts.iters,
+        profile.json_fields()
+    );
+    std::fs::write(&output, &json).expect("write score bench json");
+    println!("{json}");
+    println!("wrote {output}");
+
+    // Advisory diff against the committed trajectory — informative in CI
+    // logs, never a gate (the committed numbers come from different
+    // hardware). Only the committed keys (the sliced member numbers measured
+    // at the committed matrix size) are compared.
+    if queries != 8_192 {
+        println!("(skipping baseline diff: {queries} rows is not the committed 8192-row matrix)");
+        return;
+    }
+    let committed_subset = StageThroughput {
+        stages: profile
+            .stages
+            .iter()
+            .filter(|(key, _)| SCORE_KEYS.contains(key))
+            .cloned()
+            .collect(),
+    };
+    let committed = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    print!("{}", diff_report(&committed_subset, &committed));
+}

@@ -43,5 +43,7 @@ pub use pipeline::DefenseKind;
 pub use scenario::{
     run_scenario, CompiledScenario, DefenseSpec, Scenario, ScenarioReport, ScenarioSpec,
 };
-pub use streaming::{Executor, ExecutorStats, FrozenScorer, StationRun, WindowScorer};
+pub use streaming::{
+    Executor, ExecutorStats, FrozenScorer, StationRun, WindowScorer, WINDOW_BATCH,
+};
 pub use streaming::{StationReport, StationSpec};

@@ -136,6 +136,15 @@ impl WindowScorer for ScenarioScorer<'_> {
         }
     }
 
+    fn score_slice(&mut self, examples: &[WindowExample], out: &mut Vec<usize>) {
+        // Forwarded so the frozen arm keeps its blocked inference path (the
+        // live arm's default loop preserves test-then-train order).
+        match self {
+            ScenarioScorer::Frozen(scorer) => scorer.score_slice(examples, out),
+            ScenarioScorer::Live(evaluator) => evaluator.score_slice(examples, out),
+        }
+    }
+
     fn end_phase(&mut self) -> Option<SegmentStats> {
         match self {
             ScenarioScorer::Frozen(scorer) => scorer.end_phase(),
@@ -230,7 +239,9 @@ pub fn execute_scenario(
         scenario.station_count(),
         |i| station_run(scenario, scenario.station(i)),
         |_| match adversary {
-            TrainedAdversary::Frozen(ensemble) => ScenarioScorer::Frozen(FrozenScorer(ensemble)),
+            TrainedAdversary::Frozen(ensemble) => {
+                ScenarioScorer::Frozen(FrozenScorer::new(ensemble))
+            }
             TrainedAdversary::Warm {
                 adversary,
                 snapshot_every,

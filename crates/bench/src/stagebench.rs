@@ -17,8 +17,17 @@
 
 use crate::pipeline::{defense_pipeline, DefenseKind};
 use crate::scenario::Scenario;
+use crate::streaming::WINDOW_BATCH;
+use classifier::bayes::GaussianNaiveBayes;
+use classifier::dataset::Dataset;
+use classifier::ensemble::{AdversaryEnsemble, EnsembleConfig, VoteScratch};
+use classifier::features::FEATURE_DIM;
+use classifier::kernel::Scratch;
+use classifier::nn::NeuralNet;
 use classifier::stream::{FlowWindowers, StreamingWindower};
+use classifier::svm::LinearSvm;
 use classifier::window::{FeatureMode, DEFAULT_MIN_PACKETS};
+use classifier::Classifier;
 use defenses::spec::StageContext;
 use defenses::stage::StagePipeline;
 use traffic_gen::trace::Trace;
@@ -306,6 +315,182 @@ pub fn diff_report(current: &StageThroughput, committed_json: &str) -> String {
     out
 }
 
+/// A trained adversary scoring workload plus a packed query matrix: the
+/// inference half of the pipeline measured with everything else stripped away.
+///
+/// The members are trained on a synthetic clustered dataset at the real
+/// [`FEATURE_DIM`] so the kernels run at the exact row width the scenario
+/// engine scores, but training stays cheap enough for the CI smoke step.
+#[derive(Debug)]
+pub struct ScoringWorkload {
+    /// The SVM member, trained on normalized features (as the ensemble does).
+    pub svm: LinearSvm,
+    /// The neural-net member.
+    pub nn: NeuralNet,
+    /// The Gaussian naive-Bayes member.
+    pub bayes: GaussianNaiveBayes,
+    /// The full three-member majority-vote ensemble over the same dataset.
+    pub ensemble: AdversaryEnsemble,
+    /// Query rows packed back to back, `rows.len() == count * dim`.
+    pub rows: Vec<f64>,
+    /// Feature dimension of each row.
+    pub dim: usize,
+}
+
+impl ScoringWorkload {
+    /// Number of query rows in the packed matrix.
+    pub fn count(&self) -> usize {
+        self.rows.len() / self.dim
+    }
+}
+
+/// Builds the scoring workload: a noisy clustered training set (wide spread,
+/// so the members genuinely disagree near boundaries and the ensemble's
+/// arbiter pass is exercised) and `queries` rows scattered across the
+/// clusters.
+pub fn scoring_workload(seed: u64, queries: usize) -> ScoringWorkload {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let classes = 6;
+    let per_class = 120;
+    let dim = FEATURE_DIM;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new(dim);
+    for c in 0..classes {
+        for _ in 0..per_class {
+            let features: Vec<f64> = (0..dim)
+                .map(|f| {
+                    let center = if f == c % dim {
+                        4.0 * (c as f64 + 1.0)
+                    } else {
+                        0.0
+                    };
+                    center + rng.gen_range(-5.0..5.0)
+                })
+                .collect();
+            data.push(features, c);
+        }
+    }
+    let normalized = data.normalized(&data.fit_normalizer());
+    let config = EnsembleConfig::default();
+    ScoringWorkload {
+        svm: LinearSvm::train(&normalized, &config.svm, config.seed),
+        nn: NeuralNet::train(&normalized, &config.nn, config.seed ^ 0x55),
+        bayes: GaussianNaiveBayes::train(&normalized),
+        ensemble: AdversaryEnsemble::train(&data, &config),
+        rows: (0..queries * dim)
+            .map(|_| rng.gen_range(-6.0..18.0))
+            .collect(),
+        dim,
+    }
+}
+
+/// The scoring-plane JSON keys committed to `BENCH_pipeline.json`, in order:
+/// per-member sliced throughput over the packed query matrix (rows/second,
+/// blocked at [`WINDOW_BATCH`] granularity, the same block size the streaming
+/// machine flushes).
+pub const SCORE_KEYS: [&str; 3] = ["score_svm_pps", "score_nn_pps", "score_bayes_pps"];
+
+/// Rows/second for one member scored slice-wise in [`WINDOW_BATCH`] blocks.
+fn member_slice_pps(member: &dyn Classifier, rows: &[f64], dim: usize, opts: MeasureOpts) -> f64 {
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+    let count = rows.len() / dim;
+    let (pps, _) = measure(opts, || {
+        let mut hits = 0usize;
+        for block in rows.chunks(WINDOW_BATCH * dim) {
+            member.predict_slice(block, dim, &mut out, &mut scratch);
+            hits += out.iter().filter(|&&p| p == 0).count();
+        }
+        std::hint::black_box(hits);
+        count
+    });
+    pps
+}
+
+/// Rows/second for one member scored one row at a time (the pre-batching
+/// path, kept measurable so the single-vs-sliced gap stays visible).
+fn member_single_pps(member: &dyn Classifier, rows: &[f64], dim: usize, opts: MeasureOpts) -> f64 {
+    let count = rows.len() / dim;
+    let (pps, _) = measure(opts, || {
+        let mut hits = 0usize;
+        for row in rows.chunks_exact(dim) {
+            if member.predict(row) == 0 {
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+        count
+    });
+    pps
+}
+
+/// The committed scoring-plane measurement: each member's sliced rows/second
+/// over the workload matrix, keyed by [`SCORE_KEYS`].
+pub fn member_scoring_throughput(workload: &ScoringWorkload, opts: MeasureOpts) -> StageThroughput {
+    let members: [&dyn Classifier; 3] = [&workload.svm, &workload.nn, &workload.bayes];
+    let stages = SCORE_KEYS
+        .iter()
+        .zip(members)
+        .map(|(&key, member)| {
+            (
+                key,
+                member_slice_pps(member, &workload.rows, workload.dim, opts),
+            )
+        })
+        .collect();
+    StageThroughput { stages }
+}
+
+/// The full scoring profile for the `score_bench` bin: every member and the
+/// majority-vote ensemble, sliced **and** single-row, so the batching win is
+/// visible per kernel. The sliced member keys are exactly [`SCORE_KEYS`].
+pub fn scoring_profile(workload: &ScoringWorkload, opts: MeasureOpts) -> StageThroughput {
+    let members: [(&'static str, &'static str, &dyn Classifier); 3] = [
+        ("score_svm_pps", "score_svm_single_pps", &workload.svm),
+        ("score_nn_pps", "score_nn_single_pps", &workload.nn),
+        ("score_bayes_pps", "score_bayes_single_pps", &workload.bayes),
+    ];
+    let mut stages = Vec::with_capacity(8);
+    for (slice_key, single_key, member) in members {
+        stages.push((
+            slice_key,
+            member_slice_pps(member, &workload.rows, workload.dim, opts),
+        ));
+        stages.push((
+            single_key,
+            member_single_pps(member, &workload.rows, workload.dim, opts),
+        ));
+    }
+    let ensemble = &workload.ensemble;
+    let count = workload.count();
+    let mut scratch = VoteScratch::new();
+    let mut out = Vec::new();
+    let (slice_pps, _) = measure(opts, || {
+        let mut hits = 0usize;
+        for block in workload.rows.chunks(WINDOW_BATCH * workload.dim) {
+            ensemble.predict_majority_slice(block, workload.dim, &mut out, &mut scratch);
+            hits += out.iter().filter(|&&p| p == 0).count();
+        }
+        std::hint::black_box(hits);
+        count
+    });
+    stages.push(("score_ensemble_pps", slice_pps));
+    let (single_pps, _) = measure(opts, || {
+        let mut hits = 0usize;
+        for row in workload.rows.chunks_exact(workload.dim) {
+            if ensemble.predict_majority(row) == 0 {
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+        count
+    });
+    stages.push(("score_ensemble_single_pps", single_pps));
+    StageThroughput { stages }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +520,25 @@ mod tests {
         }
         assert_eq!(report.get("stage_padding_pps"), Some(report.stages[0].1));
         assert_eq!(report.get("nope"), None);
+    }
+
+    #[test]
+    fn scoring_throughput_reports_every_committed_key() {
+        let workload = scoring_workload(7, 256);
+        assert!(workload.count() == 256 && workload.dim == FEATURE_DIM);
+        let committed = member_scoring_throughput(&workload, quick_opts());
+        let keys: Vec<&str> = committed.stages.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, SCORE_KEYS);
+        for (key, pps) in &committed.stages {
+            assert!(*pps > 0.0, "{key} must measure a positive throughput");
+        }
+        let profile = scoring_profile(&workload, quick_opts());
+        assert_eq!(profile.stages.len(), 8);
+        for key in SCORE_KEYS {
+            assert!(profile.get(key).is_some(), "profile must include {key}");
+        }
+        assert!(profile.get("score_ensemble_pps").unwrap() > 0.0);
+        assert!(profile.get("score_ensemble_single_pps").unwrap() > 0.0);
     }
 
     #[test]

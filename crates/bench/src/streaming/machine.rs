@@ -8,13 +8,17 @@
 //! schedule and processes a time-ordered micro-batch (splitting it at
 //! phase-splice boundaries, so batching is byte-identical to a per-packet
 //! feed), [`finish`](StationMachine::finish) flushes the running phase and
-//! returns the [`ScheduledReport`]. Because the machine only ever sees its
+//! returns the [`ScheduledReport`]. Windows closed inside a drain slice are
+//! buffered and pushed through [`WindowScorer::score_slice`] in
+//! [`WINDOW_BATCH`]-sized blocks, in close order — so batch scorers amortise
+//! inference across a block while live test-then-train scorers still see
+//! each window exactly where a per-window feed would have scored it. Because the machine only ever sees its
 //! own station's packets in order, the pooled executor (station-at-a-time)
 //! and the virtual-time executor (station slices interleaved on a global
 //! clock) produce bit-identical per-station reports — stations share no
 //! mutable state, so interleaving cannot leak between them.
 
-use classifier::ensemble::AdversaryEnsemble;
+use classifier::ensemble::{AdversaryEnsemble, VoteScratch};
 use classifier::online::{PrequentialEvaluator, SegmentStats};
 use classifier::stream::{FlowWindowers, WindowExample};
 use classifier::window::{FeatureMode, DEFAULT_MIN_PACKETS};
@@ -32,6 +36,17 @@ pub trait WindowScorer {
     /// Scores one window example, returning the predicted class.
     fn score(&mut self, example: &WindowExample) -> usize;
 
+    /// Scores a slice of window examples in close order, appending one
+    /// prediction per example to `out` (cleared first). The default loops
+    /// [`score`](Self::score), so live test-then-train scorers keep their
+    /// exact per-window ordering; batch scorers override it with the blocked
+    /// inference plane. Every override must stay **bit-identical** to the
+    /// per-example loop.
+    fn score_slice(&mut self, examples: &[WindowExample], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(examples.iter().map(|e| self.score(e)));
+    }
+
     /// Called when a phase ends (splice boundary or session end); live
     /// scorers return the prequential counts of the finished phase.
     fn end_phase(&mut self) -> Option<SegmentStats> {
@@ -39,14 +54,61 @@ pub trait WindowScorer {
     }
 }
 
+/// How many closed windows [`StationMachine`] buffers before it pushes them
+/// through [`WindowScorer::score_slice`] as one block. Large enough that the
+/// blocked kernels amortise their setup, small enough that a drain slice's
+/// buffered windows stay cache-resident.
+pub const WINDOW_BATCH: usize = 64;
+
 /// A frozen batch ensemble as a [`WindowScorer`] (majority vote, no
-/// learning).
-#[derive(Debug, Clone, Copy)]
-pub struct FrozenScorer<'a>(pub &'a AdversaryEnsemble);
+/// learning). Owns the vote scratch its sliced scoring path reuses across
+/// blocks, so a long session's windows are scored without per-window
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct FrozenScorer<'a> {
+    ensemble: &'a AdversaryEnsemble,
+    scratch: VoteScratch,
+    rows: Vec<f64>,
+}
+
+impl<'a> FrozenScorer<'a> {
+    /// Wraps a trained ensemble as a scorer.
+    pub fn new(ensemble: &'a AdversaryEnsemble) -> Self {
+        FrozenScorer {
+            ensemble,
+            scratch: VoteScratch::new(),
+            rows: Vec::new(),
+        }
+    }
+}
 
 impl WindowScorer for FrozenScorer<'_> {
     fn score(&mut self, example: &WindowExample) -> usize {
-        self.0.predict_majority(&example.0)
+        self.ensemble.predict_majority(&example.0)
+    }
+
+    fn score_slice(&mut self, examples: &[WindowExample], out: &mut Vec<usize>) {
+        out.clear();
+        let Some(first) = examples.first() else {
+            return;
+        };
+        let dim = first.0.len();
+        if dim == 0 || examples.iter().any(|e| e.0.len() != dim) {
+            // Ragged feature rows cannot pack into one block; score them the
+            // scalar way (bit-identical by definition).
+            out.extend(
+                examples
+                    .iter()
+                    .map(|e| self.ensemble.predict_majority(&e.0)),
+            );
+            return;
+        }
+        self.rows.clear();
+        for example in examples {
+            self.rows.extend_from_slice(&example.0);
+        }
+        self.ensemble
+            .predict_majority_slice(&self.rows, dim, out, &mut self.scratch);
     }
 }
 
@@ -117,37 +179,52 @@ impl ScheduledReport {
     }
 }
 
-/// Scores one closed window and folds it into the phase counters — the one
-/// scoring rule every site of the machine shares.
-fn score_window(
+/// Scores every buffered window in [`WINDOW_BATCH`]-at-most blocks through
+/// [`WindowScorer::score_slice`] and folds the predictions into the phase
+/// counters — the one scoring rule every site of the machine shares. Windows
+/// are scored in exactly their close order, so deferring them into blocks is
+/// bit-identical to scoring each as it closed.
+fn flush_windows(
     scorer: &mut dyn WindowScorer,
-    example: &WindowExample,
+    pending: &mut Vec<WindowExample>,
+    out: &mut Vec<usize>,
+    batch: usize,
     windows: &mut u64,
     hits: &mut u64,
 ) {
-    *windows += 1;
-    if scorer.score(example) == example.1 {
-        *hits += 1;
+    for block in pending.chunks(batch.max(1)) {
+        scorer.score_slice(block, out);
+        debug_assert_eq!(out.len(), block.len(), "one prediction per window");
+        *windows += block.len() as u64;
+        *hits += block
+            .iter()
+            .zip(out.iter())
+            .filter(|(example, &predicted)| predicted == example.1)
+            .count() as u64;
     }
+    pending.clear();
 }
 
 /// Closes the running phase: flushes its pipeline through the windower bank,
-/// closes every trailing window, and scores what falls out.
+/// closes every trailing window, and scores everything still buffered.
+#[allow(clippy::too_many_arguments)]
 fn close_phase(
     pipeline: &mut StagePipeline,
     windowers: &mut FlowWindowers,
     scorer: &mut dyn WindowScorer,
+    pending: &mut Vec<WindowExample>,
+    out: &mut Vec<usize>,
+    batch: usize,
     windows: &mut u64,
     hits: &mut u64,
 ) {
     pipeline.finish(|flow, packet| {
         if let Some(example) = windowers.push(flow as usize, packet) {
-            score_window(scorer, &example, windows, hits);
+            pending.push(example);
         }
     });
-    for example in windowers.finish() {
-        score_window(scorer, &example, windows, hits);
-    }
+    pending.extend(windowers.finish());
+    flush_windows(scorer, pending, out, batch, windows, hits);
 }
 
 /// One station's evaluation, driven one packet at a time.
@@ -169,15 +246,24 @@ pub(crate) struct StationMachine {
     windows: u64,
     hits: u64,
     packets: u64,
+    /// Windows closed during the current drain slice, awaiting a batched
+    /// [`WindowScorer::score_slice`] flush (in close order).
+    pending: Vec<WindowExample>,
+    /// Prediction buffer the flushes reuse.
+    slice_out: Vec<usize>,
+    /// Flush granularity (≥ 1; [`WINDOW_BATCH`] unless the run overrides it).
+    window_batch: usize,
 }
 
 impl StationMachine {
-    /// Creates the machine over a non-empty phase schedule.
+    /// Creates the machine over a non-empty phase schedule, flushing closed
+    /// windows through the scorer in `window_batch`-sized blocks.
     pub(crate) fn new(
         app: AppKind,
         phases: Vec<(f64, StagePipeline)>,
         window: SimDuration,
         mode: FeatureMode,
+        window_batch: usize,
     ) -> Self {
         assert!(!phases.is_empty(), "a schedule needs at least one phase");
         StationMachine {
@@ -191,6 +277,9 @@ impl StationMachine {
             windows: 0,
             hits: 0,
             packets: 0,
+            pending: Vec::new(),
+            slice_out: Vec::new(),
+            window_batch: window_batch.max(1),
         }
     }
 
@@ -213,6 +302,9 @@ impl StationMachine {
                 &mut self.phases[self.index].1,
                 &mut self.windowers,
                 scorer,
+                &mut self.pending,
+                &mut self.slice_out,
+                self.window_batch,
                 &mut self.windows,
                 &mut self.hits,
             );
@@ -253,11 +345,17 @@ impl StationMachine {
             self.packets += run.len() as u64;
             let pipeline = &mut self.phases[self.index].1;
             let windowers = &mut self.windowers;
+            let pending = &mut self.pending;
+            let out = &mut self.slice_out;
+            let batch = self.window_batch;
             let windows = &mut self.windows;
             let hits = &mut self.hits;
             pipeline.process_batch(run, |flow, staged| {
                 if let Some(example) = windowers.push(flow as usize, staged) {
-                    score_window(scorer, &example, windows, hits);
+                    pending.push(example);
+                    if pending.len() >= batch {
+                        flush_windows(scorer, pending, out, batch, windows, hits);
+                    }
                 }
             });
             rest = tail;
@@ -281,6 +379,9 @@ impl StationMachine {
             &mut self.phases[self.index].1,
             &mut self.windowers,
             scorer,
+            &mut self.pending,
+            &mut self.slice_out,
+            self.window_batch,
             &mut self.windows,
             &mut self.hits,
         );

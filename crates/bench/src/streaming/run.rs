@@ -18,11 +18,11 @@
 //! let report = StationRun::new(TrafficSpec::bounded(AppKind::BitTorrent, 7, 120.0))
 //!     .defense(DefenseSpec::from_kind(DefenseKind::Orthogonal))
 //!     .splice(60.0, DefenseSpec::from_kind(DefenseKind::Padding))
-//!     .run(&mut FrozenScorer(&adversary))
+//!     .run(&mut FrozenScorer::new(&adversary))
 //!     .expect("valid defense stages");
 //! ```
 
-use super::machine::{ScheduledReport, StationMachine, WindowScorer};
+use super::machine::{ScheduledReport, StationMachine, WindowScorer, WINDOW_BATCH};
 use crate::scenario::spec::DefenseSpec;
 use classifier::window::FeatureMode;
 use defenses::spec::StageContext;
@@ -73,6 +73,7 @@ pub struct StationRun<'a> {
     window: SimDuration,
     mode: FeatureMode,
     arrival_secs: f64,
+    window_batch: usize,
 }
 
 impl StationRun<'static> {
@@ -95,6 +96,7 @@ impl StationRun<'static> {
             window: SimDuration::from_secs(5),
             mode: FeatureMode::Full,
             arrival_secs: 0.0,
+            window_batch: WINDOW_BATCH,
         }
     }
 }
@@ -117,6 +119,7 @@ impl<'a> StationRun<'a> {
             window: SimDuration::from_secs(5),
             mode: FeatureMode::Full,
             arrival_secs: 0.0,
+            window_batch: WINDOW_BATCH,
         }
     }
 
@@ -194,6 +197,15 @@ impl<'a> StationRun<'a> {
         self
     }
 
+    /// How many closed windows buffer before a batched
+    /// [`WindowScorer::score_slice`] flush (default
+    /// [`WINDOW_BATCH`](super::WINDOW_BATCH); clamped to at least 1). Purely
+    /// a scheduling knob: reports are bit-identical for every batch size.
+    pub fn window_batch(mut self, window_batch: usize) -> Self {
+        self.window_batch = window_batch.max(1);
+        self
+    }
+
     /// The station's ground-truth application.
     pub fn app(&self) -> AppKind {
         self.app
@@ -226,7 +238,13 @@ impl<'a> StationRun<'a> {
             SourceSpec::External(source) => source,
         };
         Ok(AdmittedStation {
-            machine: StationMachine::new(self.app, phases, self.window, self.mode),
+            machine: StationMachine::new(
+                self.app,
+                phases,
+                self.window,
+                self.mode,
+                self.window_batch,
+            ),
             source: PeekableSource::new(source),
             arrival_secs: self.arrival_secs,
         })

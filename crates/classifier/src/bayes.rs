@@ -16,6 +16,7 @@
 //! spreads never catastrophically cancel.
 
 use crate::dataset::Dataset;
+use crate::kernel::Scratch;
 use crate::{Classifier, OnlineClassifier};
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +143,58 @@ impl Classifier for GaussianNaiveBayes {
 
     fn name(&self) -> &'static str {
         "naive-bayes"
+    }
+
+    fn predict_slice(&self, rows: &[f64], dim: usize, out: &mut Vec<usize>, scratch: &mut Scratch) {
+        assert!(dim > 0, "predict_slice needs a positive feature dimension");
+        // Hoist everything that does not depend on the example out of the
+        // per-row loop: the per-class log priors and the per-(class, feature)
+        // `(variance, ln variance)` pairs — the `ln` calls dominate the
+        // streaming `predict`, and they are invariant across a slice. The
+        // per-row expression keeps the exact association of the scalar path
+        // (`(x−m)²/v + ln v` first, then `+ ln 2π`), so hoisting changes
+        // nothing bit-wise.
+        let classes = self.counts.len();
+        let total = self.total.max(1) as f64;
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        scratch.a.clear();
+        scratch.b.clear();
+        for c in 0..classes {
+            let prior = (self.counts[c] as f64 / total).max(1e-12);
+            scratch.b.push(prior.ln());
+            let n = self.counts[c] as f64;
+            for m2 in &self.m2s[c] {
+                let v = if self.counts[c] == 0 {
+                    VARIANCE_FLOOR
+                } else {
+                    (m2 / n).max(VARIANCE_FLOOR)
+                };
+                scratch.a.push(v);
+                scratch.a.push(v.ln());
+            }
+        }
+        out.clear();
+        for row in rows.chunks_exact(dim) {
+            let mut best = 0;
+            let mut best_value = f64::NEG_INFINITY;
+            for c in 0..classes {
+                let mut lp = scratch.b[c];
+                let table = &scratch.a[c * self.dim * 2..(c + 1) * self.dim * 2];
+                for ((x, m), vl) in row
+                    .iter()
+                    .take(self.dim)
+                    .zip(&self.means[c])
+                    .zip(table.chunks_exact(2))
+                {
+                    lp += -0.5 * ((x - m).powi(2) / vl[0] + vl[1] + ln_2pi);
+                }
+                if lp > best_value {
+                    best_value = lp;
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
     }
 }
 

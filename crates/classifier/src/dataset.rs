@@ -149,7 +149,7 @@ impl Dataset {
 /// This is the **frozen snapshot** form: fixed means and standard deviations
 /// fitted once (on a batch training set, or taken from a
 /// [`RunningNormalizer`] at any point of a stream).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Normalizer {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -181,11 +181,26 @@ impl Normalizer {
 
     /// Applies the normalisation to one feature vector.
     pub fn apply(&self, features: &[f64]) -> Vec<f64> {
-        features
-            .iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(x, (m, s))| (x - m) / s)
-            .collect()
+        let mut out = Vec::with_capacity(features.len().min(self.means.len()));
+        self.transform_into(features, &mut out);
+        out
+    }
+
+    /// Appends the normalised form of `features` to `out` — the
+    /// allocation-free counterpart of [`apply`](Self::apply), appending so
+    /// callers can pack many rows into one flat slice buffer.
+    pub fn transform_into(&self, features: &[f64], out: &mut Vec<f64>) {
+        out.extend(
+            features
+                .iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(x, (m, s))| (x - m) / s),
+        );
+    }
+
+    /// The feature dimensionality the normaliser was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
     }
 }
 
@@ -231,19 +246,43 @@ impl RunningNormalizer {
     /// Zero-variance columns are centred but not scaled (see [`safe_std`] —
     /// before the fix a constant column yielded NaN/inf features).
     pub fn apply(&self, features: &[f64]) -> Vec<f64> {
-        features
-            .iter()
-            .zip(&self.stats)
-            .map(|(x, s)| (x - s.mean()) / safe_std(s.std_dev()))
-            .collect()
+        let mut out = Vec::with_capacity(features.len().min(self.stats.len()));
+        self.transform_into(features, &mut out);
+        out
+    }
+
+    /// Appends the normalised form of `features` to `out` with the
+    /// **current** statistics — the allocation-free counterpart of
+    /// [`apply`](Self::apply). Note each call re-derives mean/std per column;
+    /// slice-scoring paths should [`snapshot_into`](Self::snapshot_into)
+    /// once per slice instead.
+    pub fn transform_into(&self, features: &[f64], out: &mut Vec<f64>) {
+        out.extend(
+            features
+                .iter()
+                .zip(&self.stats)
+                .map(|(x, s)| (x - s.mean()) / safe_std(s.std_dev())),
+        );
     }
 
     /// Freezes the current statistics into a static [`Normalizer`].
     pub fn snapshot(&self) -> Normalizer {
-        Normalizer {
-            means: self.stats.iter().map(RunningStats::mean).collect(),
-            stds: self.stats.iter().map(|s| safe_std(s.std_dev())).collect(),
-        }
+        let mut norm = Normalizer::default();
+        self.snapshot_into(&mut norm);
+        norm
+    }
+
+    /// [`snapshot`](Self::snapshot) into an existing [`Normalizer`], reusing
+    /// its buffers — lets a slice-scoring hot path freeze the current
+    /// statistics once per slice without allocating. Applying the snapshot
+    /// is bit-identical to [`apply`](Self::apply) (which derives the same
+    /// mean and safe standard deviation per column).
+    pub fn snapshot_into(&self, norm: &mut Normalizer) {
+        norm.means.clear();
+        norm.stds.clear();
+        norm.means.extend(self.stats.iter().map(RunningStats::mean));
+        norm.stds
+            .extend(self.stats.iter().map(|s| safe_std(s.std_dev())));
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::bayes::GaussianNaiveBayes;
 use crate::dataset::{Dataset, Normalizer};
+use crate::kernel;
 use crate::metrics::ConfusionMatrix;
 use crate::nn::{NeuralNet, NnConfig};
 use crate::svm::{LinearSvm, SvmConfig};
@@ -59,19 +60,29 @@ impl AdversaryEnsemble {
         );
         let normalizer = training.fit_normalizer();
         let normalized = training.normalized(&normalizer);
+        // The three members are seeded independently (SVM from `seed`, NN
+        // from `seed ^ 0x55` with its own rng, Bayes deterministic), so
+        // training them concurrently on scoped threads is bit-identical to
+        // the historical serial loop. The SVM and NN train on spawned
+        // threads while Bayes runs on the caller's; joins happen in the
+        // fixed member order.
+        let (svm, nn, bayes) = std::thread::scope(|s| {
+            let svm = s.spawn(|| LinearSvm::train(&normalized, &config.svm, config.seed));
+            let nn = s.spawn(|| NeuralNet::train(&normalized, &config.nn, config.seed ^ 0x55));
+            let bayes = config
+                .include_bayes
+                .then(|| GaussianNaiveBayes::train(&normalized));
+            (
+                svm.join().expect("the SVM trainer panicked"),
+                nn.join().expect("the NN trainer panicked"),
+                bayes,
+            )
+        });
         let mut classifiers: Vec<Box<dyn Classifier>> = Vec::new();
-        classifiers.push(Box::new(LinearSvm::train(
-            &normalized,
-            &config.svm,
-            config.seed,
-        )));
-        classifiers.push(Box::new(NeuralNet::train(
-            &normalized,
-            &config.nn,
-            config.seed ^ 0x55,
-        )));
-        if config.include_bayes {
-            classifiers.push(Box::new(GaussianNaiveBayes::train(&normalized)));
+        classifiers.push(Box::new(svm));
+        classifiers.push(Box::new(nn));
+        if let Some(bayes) = bayes {
+            classifiers.push(Box::new(bayes));
         }
         AdversaryEnsemble {
             normalizer,
@@ -94,8 +105,10 @@ impl AdversaryEnsemble {
     /// confusion matrix.
     fn evaluate_member(&self, member: &dyn Classifier, eval: &Dataset) -> ConfusionMatrix {
         let mut matrix = ConfusionMatrix::new(self.class_count.max(eval.class_count()));
+        let mut features = Vec::new();
         for ex in eval.examples() {
-            let features = self.normalizer.apply(&ex.features);
+            features.clear();
+            self.normalizer.transform_into(&ex.features, &mut features);
             matrix.record(ex.label, member.predict(&features));
         }
         matrix
@@ -172,6 +185,118 @@ impl AdversaryEnsemble {
             .collect();
         majority_vote(&predictions, self.class_count)
     }
+
+    /// Batched [`predict_majority`](Self::predict_majority): one majority
+    /// vote per `dim`-wide row of `rows`, into `out`. Normalisation packs
+    /// every row into one flat block, the first two members score the whole
+    /// block through their `predict_slice` kernels, and the third member
+    /// arbitrates only the **gathered** rows where they disagree — the same
+    /// per-row short-circuit as the scalar path, so the votes are
+    /// bit-identical to calling `predict_majority` row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn predict_majority_slice(
+        &self,
+        rows: &[f64],
+        dim: usize,
+        out: &mut Vec<usize>,
+        scratch: &mut VoteScratch,
+    ) {
+        assert!(dim > 0, "predict_majority_slice needs a positive dimension");
+        scratch.block.clear();
+        for row in rows.chunks_exact(dim) {
+            self.normalizer.transform_into(row, &mut scratch.block);
+        }
+        // The normalised stride can be shorter than `dim` when the rows are
+        // wider than the fitted normaliser (matching `apply`'s zip).
+        let stride = dim.min(self.normalizer.dim()).max(1);
+        vote_slice(&self.classifiers, self.class_count, stride, scratch, out);
+    }
+}
+
+/// Reusable buffers for the slice-vote paths
+/// ([`AdversaryEnsemble::predict_majority_slice`] and the online
+/// adversary's counterpart).
+#[derive(Debug, Clone, Default)]
+pub struct VoteScratch {
+    /// Frozen normaliser cache (used by the online adversary's slice path).
+    pub(crate) snapshot: Normalizer,
+    /// The normalised feature block, rows packed back to back.
+    pub(crate) block: Vec<f64>,
+    /// Member-level kernel scratch.
+    pub(crate) kernel: kernel::Scratch,
+    /// First member's votes for the whole block.
+    pub(crate) v0: Vec<usize>,
+    /// Second member's votes for the whole block.
+    pub(crate) v1: Vec<usize>,
+    /// Arbiter votes for the gathered disagreeing rows.
+    pub(crate) v2: Vec<usize>,
+    /// Disagreeing rows, gathered contiguously for the arbiter pass.
+    pub(crate) gather: Vec<f64>,
+    /// Block indices of the gathered rows.
+    pub(crate) gather_idx: Vec<usize>,
+}
+
+impl VoteScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        VoteScratch::default()
+    }
+}
+
+/// The shared slice-vote kernel over an **already normalised** block held in
+/// `scratch.block` (`n` rows of `dim`): for the committed three-member shape
+/// the first two members score the whole block, and the third scores only
+/// the gathered disagreeing rows (two agreeing members already decide a
+/// three-way vote). Any other shape falls back to the general
+/// [`majority_vote`] per row. Both paths reproduce the scalar vote exactly.
+pub(crate) fn vote_slice<T: Classifier + ?Sized>(
+    members: &[Box<T>],
+    classes: usize,
+    dim: usize,
+    scratch: &mut VoteScratch,
+    out: &mut Vec<usize>,
+) {
+    let VoteScratch {
+        block,
+        kernel,
+        v0,
+        v1,
+        v2,
+        gather,
+        gather_idx,
+        ..
+    } = scratch;
+    let n = block.len() / dim;
+    if let [first, second, third] = members {
+        first.predict_slice(block, dim, v0, kernel);
+        second.predict_slice(block, dim, v1, kernel);
+        out.clear();
+        out.extend_from_slice(v0);
+        gather.clear();
+        gather_idx.clear();
+        for i in 0..n {
+            if v0[i] != v1[i] {
+                gather.extend_from_slice(&block[i * dim..(i + 1) * dim]);
+                gather_idx.push(i);
+            }
+        }
+        if !gather_idx.is_empty() {
+            third.predict_slice(gather, dim, v2, kernel);
+            for (&i, &m2) in gather_idx.iter().zip(v2.iter()) {
+                out[i] = if m2 == v1[i] { v1[i] } else { v0[i] };
+            }
+        }
+        return;
+    }
+    out.clear();
+    for row in block.chunks_exact(dim) {
+        v0.clear();
+        v0.extend(members.iter().map(|m| m.predict(row)));
+        out.push(majority_vote(v0, classes));
+    }
 }
 
 /// The shared majority-vote rule of the batch and online adversaries: the
@@ -181,7 +306,7 @@ impl AdversaryEnsemble {
 /// # Panics
 ///
 /// Panics if `predictions` is empty.
-pub(crate) fn majority_vote(predictions: &[usize], classes: usize) -> usize {
+pub fn majority_vote(predictions: &[usize], classes: usize) -> usize {
     let mut votes = vec![0usize; classes.max(1)];
     for &p in predictions {
         if p < votes.len() {

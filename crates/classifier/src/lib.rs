@@ -56,6 +56,7 @@ pub mod bayes;
 pub mod dataset;
 pub mod ensemble;
 pub mod features;
+pub mod kernel;
 pub mod metrics;
 pub mod nn;
 pub mod online;
@@ -87,6 +88,33 @@ pub trait Classifier: std::fmt::Debug + Send + Sync {
             .map(|ex| (ex.label, self.predict(&ex.features)))
             .collect()
     }
+
+    /// Batched prediction: `rows` is a flat `n × dim` row-major feature
+    /// matrix; one prediction per row is written into `out` (cleared first).
+    ///
+    /// The default implementation loops [`predict`](Self::predict); models
+    /// with a linear hot path override it with blocked
+    /// [`kernel`] calls. Either way the predictions are **bit-identical** to
+    /// calling `predict` per row (proptested in
+    /// `tests/predict_slice_equivalence.rs`), so batching is always legal
+    /// where per-example scoring was.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero. A trailing partial row is ignored
+    /// (`chunks_exact` semantics).
+    fn predict_slice(
+        &self,
+        rows: &[f64],
+        dim: usize,
+        out: &mut Vec<usize>,
+        scratch: &mut kernel::Scratch,
+    ) {
+        assert!(dim > 0, "predict_slice needs a positive feature dimension");
+        let _ = scratch;
+        out.clear();
+        out.extend(rows.chunks_exact(dim).map(|row| self.predict(row)));
+    }
 }
 
 /// A classifier that learns **incrementally**, one window example at a time.
@@ -102,6 +130,15 @@ pub trait OnlineClassifier: Classifier {
     /// Absorbs one labelled example: a single SGD step for the
     /// discriminative models, a sufficient-statistics update for naive Bayes.
     fn partial_fit(&mut self, features: &[f64], label: usize);
+
+    /// [`partial_fit`](Self::partial_fit) with caller-provided scratch, so a
+    /// hot training loop (the online adversary, the prequential evaluator)
+    /// performs no per-example allocation. The update is bit-identical to
+    /// `partial_fit`; the default simply ignores the scratch.
+    fn partial_fit_with(&mut self, features: &[f64], label: usize, scratch: &mut kernel::Scratch) {
+        let _ = scratch;
+        self.partial_fit(features, label);
+    }
 
     /// Number of examples absorbed so far (counting repeats across epochs).
     fn examples_seen(&self) -> u64;

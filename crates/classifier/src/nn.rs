@@ -11,6 +11,7 @@
 //! [`train`](NeuralNet::train) loop.
 
 use crate::dataset::Dataset;
+use crate::kernel::{self, Scratch};
 use crate::{Classifier, OnlineClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -44,23 +45,47 @@ impl Default for NnConfig {
 /// A multi-layer perceptron (trainable incrementally).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NeuralNet {
-    // Layer 1: hidden_units x dim, layer 2: classes x hidden_units.
-    w1: Vec<Vec<f64>>,
+    /// Layer 1 weights: flat row-major `hidden_units × dim`.
+    w1: Vec<f64>,
     b1: Vec<f64>,
-    w2: Vec<Vec<f64>>,
+    /// Layer 2 weights: flat row-major `classes × hidden_units`.
+    w2: Vec<f64>,
     b2: Vec<f64>,
+    /// Feature dimensionality (the `w1` row width).
+    dim: usize,
     /// Learning rate used by single-example `partial_fit` steps.
     learning_rate: f64,
     /// Examples absorbed so far (counting repeats across epochs).
     seen: u64,
 }
 
-/// Accumulated gradients for one mini-batch (or one example).
+/// Accumulated gradients for one mini-batch (or one example), in the same
+/// flat row-major layout as the weights so applying them is a pair of
+/// [`kernel::axpy`] sweeps.
 struct Gradients {
-    gw1: Vec<Vec<f64>>,
+    gw1: Vec<f64>,
     gb1: Vec<f64>,
-    gw2: Vec<Vec<f64>>,
+    gw2: Vec<f64>,
     gb2: Vec<f64>,
+}
+
+impl Gradients {
+    fn zeroed(dim: usize, hidden: usize, classes: usize) -> Self {
+        Gradients {
+            gw1: vec![0.0; hidden * dim],
+            gb1: vec![0.0; hidden],
+            gw2: vec![0.0; classes * hidden],
+            gb2: vec![0.0; classes],
+        }
+    }
+
+    /// Resets every accumulator without giving the buffers back.
+    fn zero(&mut self) {
+        self.gw1.fill(0.0);
+        self.gb1.fill(0.0);
+        self.gw2.fill(0.0);
+        self.gb2.fill(0.0);
+    }
 }
 
 impl NeuralNet {
@@ -82,19 +107,18 @@ impl NeuralNet {
         let hidden = config.hidden_units.max(1);
         let scale1 = (2.0 / dim as f64).sqrt();
         let scale2 = (2.0 / hidden as f64).sqrt();
+        // Row-major draw order matches the historical per-row Vec layout, so
+        // a given rng stream still initialises the same network.
         NeuralNet {
-            w1: (0..hidden)
-                .map(|_| (0..dim).map(|_| rng.gen_range(-scale1..scale1)).collect())
+            w1: (0..hidden * dim)
+                .map(|_| rng.gen_range(-scale1..scale1))
                 .collect(),
             b1: vec![0.0; hidden],
-            w2: (0..classes)
-                .map(|_| {
-                    (0..hidden)
-                        .map(|_| rng.gen_range(-scale2..scale2))
-                        .collect()
-                })
+            w2: (0..classes * hidden)
+                .map(|_| rng.gen_range(-scale2..scale2))
                 .collect(),
             b2: vec![0.0; classes],
+            dim,
             learning_rate: config.learning_rate,
             seen: 0,
         }
@@ -119,13 +143,17 @@ impl NeuralNet {
 
         let mut order: Vec<usize> = (0..data.len()).collect();
         let examples = data.examples();
+        // One gradient accumulator and one scratch for the whole run — each
+        // mini-batch zeroes the accumulators instead of reallocating them.
+        let mut grads = Gradients::zeroed(net.dim, net.b1.len(), net.b2.len());
+        let mut scratch = Scratch::new();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(config.batch_size.max(1)) {
-                let mut grads = net.zero_gradients();
+                grads.zero();
                 for &idx in batch {
                     let ex = &examples[idx];
-                    net.accumulate(&ex.features, ex.label, &mut grads);
+                    net.accumulate(&ex.features, ex.label, &mut grads, &mut scratch);
                     net.seen += 1;
                 }
                 net.apply(&grads, config.learning_rate / batch.len() as f64);
@@ -134,27 +162,26 @@ impl NeuralNet {
         net
     }
 
-    fn zero_gradients(&self) -> Gradients {
-        let dim = self.w1.first().map_or(0, Vec::len);
-        let hidden = self.w1.len();
-        let classes = self.w2.len();
-        Gradients {
-            gw1: vec![vec![0.0; dim]; hidden],
-            gb1: vec![0.0; hidden],
-            gw2: vec![vec![0.0; hidden]; classes],
-            gb2: vec![0.0; classes],
-        }
-    }
-
     /// Adds one example's softmax cross-entropy gradient into `grads`.
-    fn accumulate(&self, features: &[f64], label: usize, grads: &mut Gradients) {
-        let hidden = self.w1.len();
-        let (hidden_out, probs) = self.forward(features);
-        // Output delta: softmax cross-entropy gradient.
-        let mut delta_out = probs;
-        delta_out[label] -= 1.0;
+    /// `scratch.a`/`scratch.b` hold the forward activations afterwards.
+    fn accumulate(
+        &self,
+        features: &[f64],
+        label: usize,
+        grads: &mut Gradients,
+        scratch: &mut Scratch,
+    ) {
+        let hidden = self.b1.len();
+        self.forward_into(features, scratch);
+        // Output delta: softmax cross-entropy gradient, in place over the
+        // probabilities.
+        scratch.b[label] -= 1.0;
+        let (hidden_out, delta_out) = (&scratch.a, &scratch.b);
         for (c, &delta) in delta_out.iter().enumerate() {
-            for (g, h_out) in grads.gw2[c].iter_mut().zip(&hidden_out) {
+            for (g, h_out) in grads.gw2[c * hidden..(c + 1) * hidden]
+                .iter_mut()
+                .zip(hidden_out)
+            {
                 *g += delta * h_out;
             }
             grads.gb2[c] += delta;
@@ -166,54 +193,48 @@ impl NeuralNet {
             }
             let d: f64 = delta_out
                 .iter()
-                .zip(&self.w2)
+                .zip(self.w2.chunks_exact(hidden))
                 .map(|(dc, w2c)| dc * w2c[h])
                 .sum();
-            for (g, x) in grads.gw1[h].iter_mut().zip(features) {
+            let dim = self.dim;
+            for (g, x) in grads.gw1[h * dim..(h + 1) * dim].iter_mut().zip(features) {
                 *g += d * x;
             }
             grads.gb1[h] += d;
         }
     }
 
-    /// Applies accumulated gradients with step size `step`.
+    /// Applies accumulated gradients with step size `step` — a flat
+    /// [`kernel::axpy`] per parameter block (bit-identical to the historical
+    /// per-element `w -= step * g`).
     fn apply(&mut self, grads: &Gradients, step: f64) {
-        for (row, grad_row) in self.w1.iter_mut().zip(&grads.gw1) {
-            for (w, g) in row.iter_mut().zip(grad_row) {
-                *w -= step * g;
-            }
+        kernel::axpy(&mut self.w1, &grads.gw1, -step);
+        kernel::axpy(&mut self.b1, &grads.gb1, -step);
+        kernel::axpy(&mut self.w2, &grads.gw2, -step);
+        kernel::axpy(&mut self.b2, &grads.gb2, -step);
+    }
+
+    /// Forward pass into caller scratch: `scratch.a` receives the hidden
+    /// activations, `scratch.b` the class probabilities. No allocation in
+    /// steady state.
+    fn forward_into(&self, features: &[f64], scratch: &mut Scratch) {
+        let hidden = self.b1.len();
+        scratch.a.resize(hidden, 0.0);
+        kernel::matvec_bias(&self.w1, &self.b1, features, self.dim, &mut scratch.a);
+        for z in scratch.a.iter_mut() {
+            *z = z.max(0.0);
         }
-        for (b, g) in self.b1.iter_mut().zip(&grads.gb1) {
-            *b -= step * g;
-        }
-        for (row, grad_row) in self.w2.iter_mut().zip(&grads.gw2) {
-            for (w, g) in row.iter_mut().zip(grad_row) {
-                *w -= step * g;
-            }
-        }
-        for (b, g) in self.b2.iter_mut().zip(&grads.gb2) {
-            *b -= step * g;
-        }
+        let classes = self.b2.len();
+        scratch.b.resize(classes, 0.0);
+        kernel::matvec_bias(&self.w2, &self.b2, &scratch.a, hidden, &mut scratch.b);
+        softmax_in_place(&mut scratch.b);
     }
 
     /// Forward pass returning `(hidden activations, class probabilities)`.
     fn forward(&self, features: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let hidden: Vec<f64> = self
-            .w1
-            .iter()
-            .zip(&self.b1)
-            .map(|(w, b)| {
-                let z: f64 = w.iter().zip(features).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
-                z.max(0.0)
-            })
-            .collect();
-        let logits: Vec<f64> = self
-            .w2
-            .iter()
-            .zip(&self.b2)
-            .map(|(w, b)| w.iter().zip(&hidden).map(|(wi, hi)| wi * hi).sum::<f64>() + b)
-            .collect();
-        (hidden, softmax(&logits))
+        let mut scratch = Scratch::new();
+        self.forward_into(features, &mut scratch);
+        (scratch.a, scratch.b)
     }
 
     /// Class probabilities for a feature vector.
@@ -223,15 +244,29 @@ impl NeuralNet {
 
     /// Number of classes the network distinguishes.
     pub fn class_count(&self) -> usize {
-        self.w2.len()
+        self.b2.len()
     }
 }
 
-fn softmax(logits: &[f64]) -> Vec<f64> {
+/// Softmax in place: max-shifted exponentials normalised by their sum, with
+/// the same accumulation order as the historical collecting version.
+fn softmax_in_place(logits: &mut [f64]) {
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut sum = 0.0;
+    for l in logits.iter_mut() {
+        *l = (*l - max).exp();
+        sum += *l;
+    }
+    for e in logits.iter_mut() {
+        *e /= sum;
+    }
+}
+
+#[cfg(test)]
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
 }
 
 impl Classifier for NeuralNet {
@@ -240,18 +275,20 @@ impl Classifier for NeuralNet {
         // argmax of the probabilities — the exp/normalise pass (and its
         // vectors) would be dead work here. The hidden layer is computed
         // exactly as in `forward`.
-        let hidden: Vec<f64> = self
-            .w1
-            .iter()
-            .zip(&self.b1)
-            .map(|(w, b)| {
-                let z: f64 = w.iter().zip(features).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
-                z.max(0.0)
-            })
-            .collect();
+        let hidden_units = self.b1.len();
+        let mut hidden = vec![0.0; hidden_units];
+        kernel::matvec_bias(&self.w1, &self.b1, features, self.dim, &mut hidden);
+        for z in hidden.iter_mut() {
+            *z = z.max(0.0);
+        }
         let mut best = 0;
         let mut best_value = f64::NEG_INFINITY;
-        for (i, (w, b)) in self.w2.iter().zip(&self.b2).enumerate() {
+        for (i, (w, b)) in self
+            .w2
+            .chunks_exact(hidden_units.max(1))
+            .zip(&self.b2)
+            .enumerate()
+        {
             let logit: f64 = w.iter().zip(&hidden).map(|(wi, hi)| wi * hi).sum::<f64>() + b;
             if logit > best_value {
                 best_value = logit;
@@ -264,13 +301,93 @@ impl Classifier for NeuralNet {
     fn name(&self) -> &'static str {
         "nn"
     }
+
+    fn predict_slice(&self, rows: &[f64], dim: usize, out: &mut Vec<usize>, scratch: &mut Scratch) {
+        assert!(dim > 0, "predict_slice needs a positive feature dimension");
+        let hidden = self.b1.len();
+        let classes = self.b2.len();
+        // GEMM-shaped forward in logit space: layer 1 for every row, ReLU in
+        // place, layer 2 for every row, then the first-maximum rule per row.
+        // Softmax is skipped exactly as in the streaming `predict`.
+        kernel::matmat_bias(&self.w1, &self.b1, rows, dim, &mut scratch.a);
+        for z in scratch.a.iter_mut() {
+            *z = z.max(0.0);
+        }
+        kernel::matmat_bias(
+            &self.w2,
+            &self.b2,
+            &scratch.a,
+            hidden.max(1),
+            &mut scratch.b,
+        );
+        out.clear();
+        for logits in scratch.b.chunks_exact(classes) {
+            let mut best = 0;
+            let mut best_value = f64::NEG_INFINITY;
+            for (i, &logit) in logits.iter().enumerate() {
+                if logit > best_value {
+                    best_value = logit;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+    }
 }
 
 impl OnlineClassifier for NeuralNet {
     fn partial_fit(&mut self, features: &[f64], label: usize) {
-        let mut grads = self.zero_gradients();
-        self.accumulate(features, label, &mut grads);
-        self.apply(&grads, self.learning_rate);
+        self.partial_fit_with(features, label, &mut Scratch::new());
+    }
+
+    /// One fused SGD step without gradient materialisation: the hidden
+    /// deltas are computed against the **pre-update** output weights (into
+    /// `scratch.c`) before either layer moves, so every parameter sees
+    /// exactly the update the accumulate/apply path would have produced
+    /// (`w -= lr * (δ · activation)`, identical expression tree).
+    fn partial_fit_with(&mut self, features: &[f64], label: usize, scratch: &mut Scratch) {
+        let hidden = self.b1.len();
+        let classes = self.b2.len();
+        let lr = self.learning_rate;
+        self.forward_into(features, scratch);
+        scratch.b[label] -= 1.0;
+        // Hidden deltas first — they read the output weights pre-update.
+        scratch.c.resize(hidden, 0.0);
+        for h in 0..hidden {
+            scratch.c[h] = if scratch.a[h] <= 0.0 {
+                0.0
+            } else {
+                scratch
+                    .b
+                    .iter()
+                    .zip(self.w2.chunks_exact(hidden))
+                    .map(|(dc, w2c)| dc * w2c[h])
+                    .sum()
+            };
+        }
+        // Output layer.
+        for c in 0..classes {
+            let delta = scratch.b[c];
+            for (w, h_out) in self.w2[c * hidden..(c + 1) * hidden]
+                .iter_mut()
+                .zip(&scratch.a)
+            {
+                *w -= lr * (delta * h_out);
+            }
+            self.b2[c] -= lr * delta;
+        }
+        // Hidden layer.
+        let dim = self.dim;
+        for h in 0..hidden {
+            if scratch.a[h] <= 0.0 {
+                continue;
+            }
+            let d = scratch.c[h];
+            for (w, x) in self.w1[h * dim..(h + 1) * dim].iter_mut().zip(features) {
+                *w -= lr * (d * x);
+            }
+            self.b1[h] -= lr * d;
+        }
         self.seen += 1;
     }
 

@@ -24,7 +24,8 @@
 //!   no second pass, O(flows + models) state.
 
 use crate::dataset::RunningNormalizer;
-use crate::ensemble::{majority_vote, EnsembleConfig};
+use crate::ensemble::{majority_vote, vote_slice, EnsembleConfig, VoteScratch};
+use crate::kernel;
 use crate::metrics::ConfusionMatrix;
 use crate::nn::NeuralNet;
 use crate::stream::{FlowWindowers, WindowExample};
@@ -43,6 +44,10 @@ pub struct OnlineAdversary {
     members: Vec<Box<dyn OnlineClassifier>>,
     classes: usize,
     examples_seen: u64,
+    /// Reused buffers for the `partial_fit` hot loop (stateless between
+    /// calls; cloning an adversary clones only their capacity).
+    fit_normalized: Vec<f64>,
+    fit_kernel: kernel::Scratch,
 }
 
 impl OnlineAdversary {
@@ -71,6 +76,8 @@ impl OnlineAdversary {
             members,
             classes,
             examples_seen: 0,
+            fit_normalized: Vec::new(),
+            fit_kernel: kernel::Scratch::new(),
         }
     }
 
@@ -91,12 +98,21 @@ impl OnlineAdversary {
 
     /// Absorbs one labelled example: the normalizer observes the raw
     /// features first, then every member takes one incremental step on the
-    /// freshly-normalised vector.
+    /// freshly-normalised vector. Buffer reuse keeps the loop
+    /// allocation-free in steady state.
     pub fn partial_fit(&mut self, features: &[f64], label: usize) {
-        self.normalizer.observe(features);
-        let normalized = self.normalizer.apply(features);
-        for member in &mut self.members {
-            member.partial_fit(&normalized, label);
+        let OnlineAdversary {
+            normalizer,
+            members,
+            fit_normalized,
+            fit_kernel,
+            ..
+        } = self;
+        normalizer.observe(features);
+        fit_normalized.clear();
+        normalizer.transform_into(features, fit_normalized);
+        for member in members.iter_mut() {
+            member.partial_fit_with(fit_normalized, label, fit_kernel);
         }
         self.examples_seen += 1;
     }
@@ -111,10 +127,83 @@ impl OnlineAdversary {
             .collect()
     }
 
+    /// Every member's prediction with caller-provided buffers: `normalized`
+    /// holds the scaled features, `out` one vote per member. Bit-identical
+    /// to [`predict_members`](Self::predict_members) without the per-call
+    /// allocations.
+    pub fn predict_members_into(
+        &self,
+        features: &[f64],
+        normalized: &mut Vec<f64>,
+        out: &mut Vec<usize>,
+    ) {
+        normalized.clear();
+        self.normalizer.transform_into(features, normalized);
+        out.clear();
+        out.extend(self.members.iter().map(|m| m.predict(normalized)));
+    }
+
     /// The majority vote over all members, with the batch ensemble's tie
     /// rule (ties go to the first member, the SVM).
+    ///
+    /// For the committed three-member shape the vote short-circuits exactly
+    /// like the batch ensemble's: two agreeing members decide a three-way
+    /// vote, so the third (naive Bayes, by far the costliest single
+    /// predictor) only runs as arbiter when SVM and NN disagree.
     pub fn predict_majority(&self, features: &[f64]) -> usize {
-        majority_vote(&self.predict_members(features), self.classes)
+        let normalized = self.normalizer.apply(features);
+        self.vote_normalized(&normalized)
+    }
+
+    /// [`predict_majority`](Self::predict_majority) with caller scratch, so
+    /// the per-window hot path allocates nothing.
+    pub fn predict_majority_with(&self, features: &[f64], scratch: &mut VoteScratch) -> usize {
+        scratch.block.clear();
+        self.normalizer.transform_into(features, &mut scratch.block);
+        self.vote_normalized(&scratch.block)
+    }
+
+    /// The short-circuit vote over an already-normalised vector (general
+    /// member counts fall back to the shared [`majority_vote`] rule).
+    fn vote_normalized(&self, normalized: &[f64]) -> usize {
+        if let [first, second, third] = self.members.as_slice() {
+            let m0 = first.predict(normalized);
+            let m1 = second.predict(normalized);
+            if m0 == m1 {
+                return m0;
+            }
+            let m2 = third.predict(normalized);
+            return if m2 == m1 { m1 } else { m0 };
+        }
+        let predictions: Vec<usize> = self.members.iter().map(|m| m.predict(normalized)).collect();
+        majority_vote(&predictions, self.classes)
+    }
+
+    /// Batched [`predict_majority`](Self::predict_majority): one vote per
+    /// `dim`-wide row of `rows`, into `out`. The running statistics are
+    /// frozen once per slice (a prediction never mutates them, so this is
+    /// bit-identical to re-deriving them per row), the whole block is
+    /// normalised in place, and the members vote through the same gathered
+    /// short-circuit kernel as the batch ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn predict_majority_slice(
+        &self,
+        rows: &[f64],
+        dim: usize,
+        out: &mut Vec<usize>,
+        scratch: &mut VoteScratch,
+    ) {
+        assert!(dim > 0, "predict_majority_slice needs a positive dimension");
+        self.normalizer.snapshot_into(&mut scratch.snapshot);
+        scratch.block.clear();
+        for row in rows.chunks_exact(dim) {
+            scratch.snapshot.transform_into(row, &mut scratch.block);
+        }
+        let stride = dim.min(self.normalizer.dim()).max(1);
+        vote_slice(&self.members, self.classes, stride, scratch, out);
     }
 }
 
@@ -186,6 +275,9 @@ pub struct PrequentialEvaluator {
     segment: SegmentStats,
     correct: u64,
     scored: u64,
+    /// Reused per-example buffers (normalised features, member votes).
+    normalized: Vec<f64>,
+    member_predictions: Vec<usize>,
 }
 
 impl PrequentialEvaluator {
@@ -206,6 +298,8 @@ impl PrequentialEvaluator {
             },
             correct: 0,
             scored: 0,
+            normalized: Vec::new(),
+            member_predictions: Vec::new(),
         }
     }
 
@@ -216,35 +310,49 @@ impl PrequentialEvaluator {
     ///
     /// Panics if `label` is out of range for the adversary's class count.
     pub fn test_then_train(&mut self, features: &[f64], label: usize) -> usize {
-        let member_predictions = self.adversary.predict_members(features);
-        let predicted = majority_vote(&member_predictions, self.adversary.class_count());
-        self.majority.record(label, predicted);
-        for (matrix, &p) in self.member_matrices.iter_mut().zip(&member_predictions) {
+        // One normalisation + one prediction per member into reused buffers
+        // (the evaluator needs every member's vote for the per-member
+        // matrices, so the majority short-circuit does not apply here).
+        let Self {
+            adversary,
+            majority,
+            member_matrices,
+            timeline,
+            snapshot_every,
+            segment,
+            correct,
+            scored,
+            normalized,
+            member_predictions,
+        } = &mut *self;
+        adversary.predict_members_into(features, normalized, member_predictions);
+        let predicted = majority_vote(member_predictions, adversary.class_count());
+        majority.record(label, predicted);
+        for (matrix, &p) in member_matrices.iter_mut().zip(member_predictions.iter()) {
             matrix.record(label, p);
         }
-        self.scored += 1;
-        self.segment.total += 1;
+        *scored += 1;
+        segment.total += 1;
         if predicted == label {
-            self.correct += 1;
-            self.segment.majority_correct += 1;
+            *correct += 1;
+            segment.majority_correct += 1;
         }
-        for (c, &p) in self
-            .segment
+        for (c, &p) in segment
             .member_correct
             .iter_mut()
-            .zip(&member_predictions)
+            .zip(member_predictions.iter())
         {
             if p == label {
                 *c += 1;
             }
         }
-        if self.scored.is_multiple_of(self.snapshot_every) {
-            self.timeline.push(PrequentialPoint {
-                examples: self.scored,
-                accuracy: self.accuracy(),
+        if scored.is_multiple_of(*snapshot_every) {
+            timeline.push(PrequentialPoint {
+                examples: *scored,
+                accuracy: *correct as f64 / *scored as f64,
             });
         }
-        self.adversary.partial_fit(features, label);
+        adversary.partial_fit(features, label);
         predicted
     }
 

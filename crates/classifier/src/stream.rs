@@ -160,6 +160,13 @@ pub struct StreamingWindower {
     label: usize,
     origin: Option<SimTime>,
     current_index: u64,
+    /// Cached `window.as_micros().max(1)` — the per-packet path divides by it
+    /// only when a window boundary is crossed.
+    window_micros: u64,
+    /// First microsecond past the current window
+    /// (`(current_index + 1) · window_micros`): timestamps below it stay in
+    /// the open window without any division.
+    next_boundary_micros: u64,
     packets_in_window: usize,
     down: DirAccumulator,
     up: DirAccumulator,
@@ -168,6 +175,7 @@ pub struct StreamingWindower {
 impl StreamingWindower {
     /// Creates a windower emitting examples with class label `label`.
     pub fn new(window: SimDuration, min_packets: usize, mode: FeatureMode, label: usize) -> Self {
+        let window_micros = window.as_micros().max(1);
         StreamingWindower {
             window,
             min_packets,
@@ -175,6 +183,8 @@ impl StreamingWindower {
             label,
             origin: None,
             current_index: 0,
+            window_micros,
+            next_boundary_micros: window_micros,
             packets_in_window: 0,
             down: DirAccumulator::default(),
             up: DirAccumulator::default(),
@@ -206,14 +216,23 @@ impl StreamingWindower {
             return None;
         }
         let origin = *self.origin.get_or_insert(packet.time);
-        let index =
-            packet.time.saturating_since(origin).as_micros() / self.window.as_micros().max(1);
-        let emitted = if index != self.current_index && self.packets_in_window > 0 {
-            self.close_window()
+        // Timestamps are non-decreasing, so the window index only moves when
+        // the elapsed time reaches the cached boundary — the common case
+        // (same window) costs one compare, no division.
+        let since = packet.time.saturating_since(origin).as_micros();
+        let emitted = if since >= self.next_boundary_micros {
+            let index = since / self.window_micros;
+            let closed = if self.packets_in_window > 0 {
+                self.close_window()
+            } else {
+                None
+            };
+            self.current_index = index;
+            self.next_boundary_micros = (index + 1).saturating_mul(self.window_micros);
+            closed
         } else {
             None
         };
-        self.current_index = index;
         match packet.direction {
             Direction::Downlink => self.down.absorb(packet),
             Direction::Uplink => self.up.absorb(packet),

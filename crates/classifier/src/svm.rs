@@ -14,6 +14,7 @@
 //! dataset (equivalence property-tested in `tests/online_equivalence.rs`).
 
 use crate::dataset::Dataset;
+use crate::kernel;
 use crate::{Classifier, OnlineClassifier};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -44,7 +45,11 @@ impl Default for SvmConfig {
 /// A one-vs-rest linear SVM (trainable incrementally).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinearSvm {
-    weights: Vec<Vec<f64>>,
+    /// Flat row-major `classes × dim` weight matrix (the layout
+    /// [`kernel::matvec_bias`] consumes directly).
+    weights: Vec<f64>,
+    /// Feature dimensionality (the weight row width).
+    dim: usize,
     biases: Vec<f64>,
     /// Regularisation strength λ of the Pegasos schedule.
     lambda: f64,
@@ -65,7 +70,8 @@ impl LinearSvm {
     pub fn new(dim: usize, classes: usize, config: &SvmConfig) -> Self {
         assert!(classes > 0, "an SVM needs at least one class");
         LinearSvm {
-            weights: vec![vec![0.0; dim]; classes],
+            weights: vec![0.0; classes * dim],
+            dim,
             biases: vec![0.0; classes],
             lambda: config.lambda,
             learning_rate: config.learning_rate,
@@ -101,16 +107,22 @@ impl LinearSvm {
 
     /// Per-class decision values for a feature vector.
     pub fn decision_values(&self, features: &[f64]) -> Vec<f64> {
-        self.weights
-            .iter()
-            .zip(&self.biases)
-            .map(|(w, b)| dot(w, features) + b)
-            .collect()
+        let mut out = vec![0.0; self.biases.len()];
+        self.decision_values_into(features, &mut out);
+        out
+    }
+
+    /// [`decision_values`](Self::decision_values) into a caller buffer
+    /// (resized to the class count) — the allocation-free form the hot
+    /// paths use, via the blocked [`kernel::matvec_bias`].
+    pub fn decision_values_into(&self, features: &[f64], out: &mut Vec<f64>) {
+        out.resize(self.biases.len(), 0.0);
+        kernel::matvec_bias(&self.weights, &self.biases, features, self.dim, out);
     }
 
     /// Number of classes the model distinguishes.
     pub fn class_count(&self) -> usize {
-        self.weights.len()
+        self.biases.len()
     }
 }
 
@@ -124,7 +136,12 @@ impl Classifier for LinearSvm {
         // rule), so the per-call score vector is never materialised.
         let mut best = 0;
         let mut best_value = f64::NEG_INFINITY;
-        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+        for (i, (w, b)) in self
+            .weights
+            .chunks_exact(self.dim.max(1))
+            .zip(&self.biases)
+            .enumerate()
+        {
             let v = dot(w, features) + b;
             if v > best_value {
                 best_value = v;
@@ -137,15 +154,42 @@ impl Classifier for LinearSvm {
     fn name(&self) -> &'static str {
         "svm"
     }
+
+    fn predict_slice(
+        &self,
+        rows: &[f64],
+        dim: usize,
+        out: &mut Vec<usize>,
+        scratch: &mut kernel::Scratch,
+    ) {
+        assert!(dim > 0, "predict_slice needs a positive feature dimension");
+        // All decision values in one blocked pass, then the same
+        // first-maximum rule per row as the streaming `predict`.
+        kernel::matmat_bias(&self.weights, &self.biases, rows, dim, &mut scratch.a);
+        let classes = self.biases.len();
+        out.clear();
+        for values in scratch.a.chunks_exact(classes) {
+            let mut best = 0;
+            let mut best_value = f64::NEG_INFINITY;
+            for (i, &v) in values.iter().enumerate() {
+                if v > best_value {
+                    best_value = v;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+    }
 }
 
 impl OnlineClassifier for LinearSvm {
     fn partial_fit(&mut self, features: &[f64], label: usize) {
         self.step += 1;
         let eta = self.learning_rate / (1.0 + self.lambda * self.step as f64);
-        for c in 0..self.weights.len() {
+        let dim = self.dim;
+        for c in 0..self.biases.len() {
             let y = if label == c { 1.0 } else { -1.0 };
-            let w = &mut self.weights[c];
+            let w = &mut self.weights[c * dim..(c + 1) * dim];
             let margin = y * (dot(w, features) + self.biases[c]);
             // L2 shrinkage.
             for wi in w.iter_mut() {
