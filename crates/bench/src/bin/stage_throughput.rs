@@ -7,7 +7,9 @@
 //!
 //! Runs the per-stage measurement of [`bench::stagebench`] over the committed
 //! `scenarios/throughput_baseline.toml` workload: every defense stage in
-//! isolation (padding, morphing, pseudonym, FH, OR reshaping), the windower,
+//! isolation (padding, morphing, pseudonym, FH, OR reshaping), the sliced
+//! windowing plane (`stage_windower_pps` for one windower fed slice-wise,
+//! `windower_slice_pps` for the grouped `FlowWindowers::push_slice` path),
 //! and the three defended end-to-end pipelines the baseline tracks. Writes
 //! the result as JSON (`--out`) and, with `--diff`, prints a **non-blocking**
 //! per-stage comparison against the committed `BENCH_pipeline.json` so

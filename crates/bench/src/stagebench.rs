@@ -29,7 +29,8 @@ use classifier::svm::LinearSvm;
 use classifier::window::{FeatureMode, DEFAULT_MIN_PACKETS};
 use classifier::Classifier;
 use defenses::spec::StageContext;
-use defenses::stage::StagePipeline;
+use defenses::stage::{StagePipeline, STAGE_BATCH};
+use traffic_gen::packet::PacketRecord;
 use traffic_gen::trace::Trace;
 use wlan_sim::time::SimDuration;
 
@@ -94,19 +95,41 @@ pub fn measure<F: FnMut() -> usize>(opts: MeasureOpts, mut body: F) -> (f64, usi
 }
 
 /// Drives one defended streaming evaluation pass: trace → stage pipeline →
-/// per-sub-flow windowers, exactly the per-packet path the scenario engine
-/// runs. The pipeline is `reset` first so repeated passes measure the
-/// steady-state per-packet cost, not calibration.
+/// per-sub-flow windowers, exactly the sliced path the scenario engine runs —
+/// [`STAGE_BATCH`]-sized slices through [`StagePipeline::process_batch`],
+/// staged output routed into [`FlowWindowers::push_slice`] (bit-identical to
+/// the per-packet feed; the windowing-plane equivalence tests pin it). The
+/// pipeline is `reset` first so repeated passes measure the steady-state
+/// per-packet cost, not calibration.
 pub fn defended_pass(trace: &Trace, window: SimDuration, pipeline: &mut StagePipeline) -> usize {
     let app = trace.app().expect("bench trace is labelled");
     pipeline.reset();
     let mut windowers = FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+    let mut flows: Vec<usize> = Vec::new();
+    let mut staged: Vec<PacketRecord> = Vec::new();
+    let mut closed = Vec::new();
     let mut examples = 0usize;
-    pipeline.run(&mut trace.stream(), |flow, packet| {
-        if windowers.push(flow as usize, packet).is_some() {
-            examples += 1;
-        }
+    let mut route = |flows: &[usize], staged: &[PacketRecord]| {
+        windowers.push_slice(flows, staged, &mut closed);
+        examples += closed.len();
+        closed.clear();
+    };
+    for slice in trace.packets().chunks(STAGE_BATCH) {
+        flows.clear();
+        staged.clear();
+        pipeline.process_batch(slice, |flow, packet| {
+            flows.push(flow as usize);
+            staged.push(*packet);
+        });
+        route(&flows, &staged);
+    }
+    flows.clear();
+    staged.clear();
+    pipeline.finish(|flow, packet| {
+        flows.push(flow as usize);
+        staged.push(*packet);
     });
+    route(&flows, &staged);
     examples += windowers.finish().len();
     std::hint::black_box(examples);
     trace.len()
@@ -148,25 +171,67 @@ fn stage_only_pps(trace: &Trace, pipeline: &mut StagePipeline, opts: MeasureOpts
     pps
 }
 
-/// The windower measured alone: the trace folded straight into one
-/// [`StreamingWindower`] with no defense in front.
+/// The windower measured alone: the trace folded into one
+/// [`StreamingWindower`] with no defense in front, fed the way the streaming
+/// machine feeds it — [`STAGE_BATCH`]-sized slices through
+/// [`StreamingWindower::push_slice`] (the production shape; every other
+/// `stage_*_pps` key likewise measures its batched path).
 fn windower_pps(trace: &Trace, window: SimDuration, opts: MeasureOpts) -> f64 {
     let app = trace.app().expect("bench trace is labelled");
     let (pps, _) = measure(opts, || {
         let mut windower =
             StreamingWindower::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+        let mut closed = Vec::new();
         let mut examples = 0usize;
-        let mut source = trace.stream();
-        while let Some(packet) = traffic_gen::stream::PacketSource::next_packet(&mut source) {
-            if windower.push(&packet).is_some() {
-                examples += 1;
-            }
+        for slice in trace.packets().chunks(STAGE_BATCH) {
+            windower.push_slice(slice, &mut closed);
+            examples += closed.len();
+            closed.clear();
         }
         if windower.finish().is_some() {
             examples += 1;
         }
         std::hint::black_box(examples);
         trace.len()
+    });
+    pps
+}
+
+/// The whole feature-extraction plane measured alone: the trace with a
+/// deterministic 3-sub-flow assignment (LCG, a stand-in for a partitioning
+/// stage's output) grouped into per-flow runs and folded through
+/// [`FlowWindowers::push_slice`] in [`STAGE_BATCH`]-sized slices — grouping,
+/// bank dispatch and run folding all included, the exact shape
+/// `offer_slice` drives on the defended hot path.
+fn windower_slice_pps(trace: &Trace, window: SimDuration, opts: MeasureOpts) -> f64 {
+    let app = trace.app().expect("bench trace is labelled");
+    let packets = trace.packets();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let flows: Vec<usize> = packets
+        .iter()
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 3) as usize
+        })
+        .collect();
+    let (pps, _) = measure(opts, || {
+        let mut windowers =
+            FlowWindowers::for_app(window, DEFAULT_MIN_PACKETS, FeatureMode::Full, app);
+        let mut closed = Vec::new();
+        let mut examples = 0usize;
+        let mut start = 0;
+        while start < packets.len() {
+            let end = (start + STAGE_BATCH).min(packets.len());
+            windowers.push_slice(&flows[start..end], &packets[start..end], &mut closed);
+            examples += closed.len();
+            closed.clear();
+            start = end;
+        }
+        examples += windowers.finish().len();
+        std::hint::black_box(examples);
+        packets.len()
     });
     pps
 }
@@ -200,19 +265,22 @@ impl StageThroughput {
 
 /// The JSON keys [`per_stage_throughput`] reports, in order. Kept public so
 /// the diff tooling and tests never drift from the measurement.
-pub const STAGE_KEYS: [&str; 6] = [
+pub const STAGE_KEYS: [&str; 7] = [
     "stage_padding_pps",
     "stage_morphing_pps",
     "stage_pseudonym_pps",
     "stage_fh_pps",
     "stage_reshape_pps",
     "stage_windower_pps",
+    "windower_slice_pps",
 ];
 
 /// Measures every defense stage in isolation over `trace` (padding, morphing,
-/// pseudonym rotation, frequency hopping, OR reshaping), plus the plain
-/// windower. Stages are built through [`defense_pipeline`] with the same
-/// construction the defended end-to-end numbers use.
+/// pseudonym rotation, frequency hopping, OR reshaping), plus the windowing
+/// plane: the plain sliced windower (`stage_windower_pps`) and the full
+/// grouped [`FlowWindowers::push_slice`] path (`windower_slice_pps`). Stages
+/// are built through [`defense_pipeline`] with the same construction the
+/// defended end-to-end numbers use.
 pub fn per_stage_throughput(
     trace: &Trace,
     window: SimDuration,
@@ -237,6 +305,10 @@ pub fn per_stage_throughput(
         stages.push((key, stage_only_pps(trace, &mut pipeline, opts)));
     }
     stages.push(("stage_windower_pps", windower_pps(trace, window, opts)));
+    stages.push((
+        "windower_slice_pps",
+        windower_slice_pps(trace, window, opts),
+    ));
     StageThroughput { stages }
 }
 

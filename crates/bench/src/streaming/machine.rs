@@ -205,6 +205,19 @@ fn flush_windows(
     pending.clear();
 }
 
+/// Reusable staged-output buffers one drain slice fills and the windower
+/// bank consumes. Owned per station-slot by the executors (inside their
+/// [`StationScratch`](super::run::StationScratch)) so routing a slice from
+/// the stage pipeline into [`FlowWindowers::push_slice`] allocates nothing
+/// after warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct StagedScratch {
+    /// Sub-flow of each staged packet, in emission order.
+    flows: Vec<usize>,
+    /// The staged packets themselves, in emission order.
+    packets: Vec<PacketRecord>,
+}
+
 /// Closes the running phase: flushes its pipeline through the windower bank,
 /// closes every trailing window, and scores everything still buffered.
 #[allow(clippy::too_many_arguments)]
@@ -328,8 +341,19 @@ impl StationMachine {
     /// [`StagePipeline::process`]: the slice is split at phase-splice
     /// boundaries, so each sub-run flows through exactly the pipeline a
     /// per-packet feed would have used, in one
-    /// [`StagePipeline::process_batch`] call instead of one per packet.
-    pub(crate) fn offer_slice(&mut self, packets: &[PacketRecord], scorer: &mut dyn WindowScorer) {
+    /// [`StagePipeline::process_batch`] call instead of one per packet. The
+    /// staged output of each sub-run is collected into `staged` and routed
+    /// through [`FlowWindowers::push_slice`] — one windower-bank dispatch per
+    /// same-flow run instead of one per packet — then any block of closed
+    /// windows is flushed in close order (the PR 9 `WINDOW_BATCH`
+    /// semantics: flush-block boundaries never change a report, which the
+    /// window-batch invariance tests pin).
+    pub(crate) fn offer_slice(
+        &mut self,
+        packets: &[PacketRecord],
+        staged: &mut StagedScratch,
+        scorer: &mut dyn WindowScorer,
+    ) {
         let mut rest = packets;
         while !rest.is_empty() {
             self.advance_schedule(rest[0].time.as_secs_f64(), scorer);
@@ -343,21 +367,26 @@ impl StationMachine {
             };
             let (run, tail) = rest.split_at(run_len);
             self.packets += run.len() as u64;
-            let pipeline = &mut self.phases[self.index].1;
-            let windowers = &mut self.windowers;
-            let pending = &mut self.pending;
-            let out = &mut self.slice_out;
-            let batch = self.window_batch;
-            let windows = &mut self.windows;
-            let hits = &mut self.hits;
-            pipeline.process_batch(run, |flow, staged| {
-                if let Some(example) = windowers.push(flow as usize, staged) {
-                    pending.push(example);
-                    if pending.len() >= batch {
-                        flush_windows(scorer, pending, out, batch, windows, hits);
-                    }
-                }
-            });
+            staged.flows.clear();
+            staged.packets.clear();
+            self.phases[self.index]
+                .1
+                .process_batch(run, |flow, packet| {
+                    staged.flows.push(flow as usize);
+                    staged.packets.push(*packet);
+                });
+            self.windowers
+                .push_slice(&staged.flows, &staged.packets, &mut self.pending);
+            if self.pending.len() >= self.window_batch {
+                flush_windows(
+                    scorer,
+                    &mut self.pending,
+                    &mut self.slice_out,
+                    self.window_batch,
+                    &mut self.windows,
+                    &mut self.hits,
+                );
+            }
             rest = tail;
         }
     }

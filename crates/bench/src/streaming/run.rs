@@ -22,7 +22,7 @@
 //!     .expect("valid defense stages");
 //! ```
 
-use super::machine::{ScheduledReport, StationMachine, WindowScorer, WINDOW_BATCH};
+use super::machine::{ScheduledReport, StagedScratch, StationMachine, WindowScorer, WINDOW_BATCH};
 use crate::scenario::spec::DefenseSpec;
 use classifier::window::FeatureMode;
 use defenses::spec::StageContext;
@@ -268,6 +268,7 @@ impl<'a> StationRun<'a> {
 #[derive(Debug, Default)]
 pub(crate) struct StationScratch {
     batch: Vec<PacketRecord>,
+    staged: StagedScratch,
     outputs: Vec<defenses::stage::StageOutput>,
 }
 
@@ -275,6 +276,7 @@ impl StationScratch {
     pub(crate) fn new() -> Self {
         StationScratch {
             batch: Vec::with_capacity(STAGE_BATCH),
+            staged: StagedScratch::default(),
             outputs: Vec::new(),
         }
     }
@@ -327,7 +329,7 @@ impl AdmittedStation<'_> {
             last_secs: None,
             packets: 0,
         };
-        let batch = &mut scratch.batch;
+        let StationScratch { batch, staged, .. } = scratch;
         loop {
             batch.clear();
             while batch.len() < STAGE_BATCH {
@@ -346,7 +348,7 @@ impl AdmittedStation<'_> {
             let Some(last) = batch.last() else { break };
             run.last_secs = Some(self.arrival_secs + last.time.as_secs_f64());
             run.packets += batch.len() as u64;
-            self.machine.offer_slice(batch, scorer);
+            self.machine.offer_slice(batch, staged, scorer);
             if batch.len() < STAGE_BATCH {
                 break;
             }

@@ -429,6 +429,8 @@ impl PrequentialEvaluator {
 pub struct AdversarySink {
     windowers: FlowWindowers,
     evaluator: PrequentialEvaluator,
+    /// Closed-window buffer the sliced entries reuse.
+    closed: Vec<WindowExample>,
 }
 
 impl AdversarySink {
@@ -437,6 +439,7 @@ impl AdversarySink {
         AdversarySink {
             windowers,
             evaluator,
+            closed: Vec::new(),
         }
     }
 
@@ -447,6 +450,32 @@ impl AdversarySink {
         self.windowers
             .push(flow, packet)
             .map(|example| self.evaluator.absorb(&example))
+    }
+
+    /// Folds a staged slice in (`flows[i]` is the sub-flow of `packets[i]`),
+    /// scoring-then-learning every window the slice closes in exact close
+    /// order — bit-identical to [`push`](Self::push)ing each pair, one
+    /// windower-bank dispatch per run instead of per packet. Returns the
+    /// number of windows scored.
+    pub fn push_slice(&mut self, flows: &[usize], packets: &[PacketRecord]) -> usize {
+        self.closed.clear();
+        self.windowers.push_slice(flows, packets, &mut self.closed);
+        for example in &self.closed {
+            self.evaluator.absorb(example);
+        }
+        self.closed.len()
+    }
+
+    /// [`push_slice`](Self::push_slice) for a single-sub-flow run (e.g. a
+    /// sniffer feed, where one observed device is one sub-flow). Returns the
+    /// number of windows scored.
+    pub fn push_run(&mut self, flow: usize, packets: &[PacketRecord]) -> usize {
+        self.closed.clear();
+        self.windowers.push_run(flow, packets, &mut self.closed);
+        for example in &self.closed {
+            self.evaluator.absorb(example);
+        }
+        self.closed.len()
     }
 
     /// Closes every sub-flow's trailing window at session end, feeding the

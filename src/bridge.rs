@@ -38,7 +38,7 @@
 //! materialised trace.
 
 use crate::analysis::online::AdversarySink;
-use crate::defense::stage::StagePipeline;
+use crate::defense::stage::{StagePipeline, STAGE_BATCH};
 use crate::reshape::online::OnlineReshaper;
 use crate::reshape::reshaper::Reshaper;
 use crate::reshape::translation::TranslationTable;
@@ -119,6 +119,9 @@ pub struct FrameStream<'a, S: PacketSource> {
     /// Staged packets not yet dispatched (a stage may emit several packets,
     /// or none, per source packet).
     pending: std::collections::VecDeque<PacketRecord>,
+    /// Source-packet buffer [`next_chunk`](FrameStream::next_chunk) stages
+    /// in one [`StagePipeline::process_batch`] call.
+    batch: Vec<PacketRecord>,
     flushed: bool,
     reshaper: &'a mut OnlineReshaper,
     table: &'a TranslationTable,
@@ -136,6 +139,43 @@ impl<S: PacketSource> FrameStream<'_, S> {
     /// reports what the stages cost so far).
     pub fn stages(&self) -> &StagePipeline {
         &self.stages
+    }
+
+    /// Fills `out` (cleared first) with the next chunk of on-air frames —
+    /// the sliced twin of the per-frame `Iterator` path: up to
+    /// [`STAGE_BATCH`] source packets are staged in one
+    /// [`StagePipeline::process_batch`] call, then every staged packet is
+    /// dispatched through the reshaper and converted in exactly the order
+    /// the per-frame path would have produced (`process_batch` is pinned
+    /// byte-identical to per-packet `process`). Returns the number of frames
+    /// appended; `0` means the stream is exhausted. Chunked and per-frame
+    /// pulls may interleave freely — both drain the same staged queue.
+    pub fn next_chunk(&mut self, out: &mut Vec<(SimTime, Frame)>) -> usize {
+        out.clear();
+        while self.pending.is_empty() && !self.flushed {
+            self.batch.clear();
+            while self.batch.len() < STAGE_BATCH {
+                match self.source.next_packet() {
+                    Some(packet) => self.batch.push(packet),
+                    None => {
+                        self.flushed = true;
+                        break;
+                    }
+                }
+            }
+            let pending = &mut self.pending;
+            self.stages
+                .process_batch(&self.batch, |_, staged| pending.push_back(*staged));
+            if self.flushed {
+                self.stages.finish(|_, staged| pending.push_back(*staged));
+            }
+        }
+        for packet in self.pending.drain(..) {
+            let vif = self.reshaper.assign(&packet);
+            let addr = on_air_address(self.table, self.physical, vif);
+            out.push((packet.time, packet_to_frame(&packet, addr, self.ap)));
+        }
+        out.len()
     }
 }
 
@@ -199,6 +239,7 @@ pub fn stream_frames_staged<'a, S: PacketSource>(
         source,
         stages,
         pending: std::collections::VecDeque::new(),
+        batch: Vec::new(),
         flushed: false,
         reshaper,
         table,
@@ -259,11 +300,22 @@ pub fn captures_into_sink(
     label: AppKind,
     sink: &mut AdversarySink,
 ) -> usize {
+    // All of the device's packets form one sub-flow, so the reassembled
+    // stream rides the sink's single-run sliced entry in blocks — one
+    // windower dispatch per block, bit-identical to pushing each packet.
+    const SINK_CHUNK: usize = 256;
     let mut absorbed = 0;
+    let mut run: Vec<PacketRecord> = Vec::with_capacity(SINK_CHUNK);
     for packet in device_packets(captures, device, label) {
-        sink.push(0, &packet);
-        absorbed += 1;
+        run.push(packet);
+        if run.len() == SINK_CHUNK {
+            sink.push_run(0, &run);
+            absorbed += run.len();
+            run.clear();
+        }
     }
+    sink.push_run(0, &run);
+    absorbed += run.len();
     absorbed
 }
 
@@ -486,6 +538,127 @@ mod tests {
         )
         .collect();
         assert_eq!(unstaged, staged_identity);
+    }
+
+    #[test]
+    fn chunked_frame_stream_is_byte_identical_to_per_frame() {
+        // next_chunk == next, frame for frame, with and without stages in
+        // front — the bridge-layer half of the sliced-windowing equivalence.
+        use crate::defense::PacketPadder;
+        let (_, table) = installed_vifs(19, 3);
+        let trace = SessionGenerator::new(AppKind::BitTorrent, 23).generate_secs(10.0);
+        for staged in [false, true] {
+            let stages = || {
+                if staged {
+                    StagePipeline::new().with_stage(PacketPadder::new().stage())
+                } else {
+                    StagePipeline::new()
+                }
+            };
+            let mut per_frame_engine =
+                OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+            let per_frame: Vec<(SimTime, Frame)> = stream_frames_staged(
+                trace.stream(),
+                stages(),
+                &mut per_frame_engine,
+                &table,
+                station(),
+                ap(),
+            )
+            .collect();
+
+            let mut chunked_engine =
+                OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+            let mut stream = stream_frames_staged(
+                trace.stream(),
+                stages(),
+                &mut chunked_engine,
+                &table,
+                station(),
+                ap(),
+            );
+            let mut chunked = Vec::new();
+            let mut chunk = Vec::new();
+            while stream.next_chunk(&mut chunk) > 0 {
+                chunked.append(&mut chunk);
+            }
+            assert_eq!(per_frame, chunked, "staged={staged}");
+            assert_eq!(
+                per_frame_engine.packets_seen(),
+                chunked_engine.packets_seen()
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_sink_feed_matches_per_packet_push() {
+        // captures_into_sink now rides AdversarySink::push_run; the live
+        // adversary must end in exactly the state a per-packet feed reaches.
+        use crate::analysis::ensemble::EnsembleConfig;
+        use crate::analysis::features::FEATURE_DIM;
+        use crate::analysis::online::{OnlineAdversary, PrequentialEvaluator};
+        use crate::analysis::stream::FlowWindowers;
+        use crate::analysis::window::{FeatureMode, DEFAULT_MIN_PACKETS};
+        use crate::wlan::channel::PathLossModel;
+        use crate::wlan::time::SimDuration;
+
+        let table = TranslationTable::new();
+        let mut online =
+            OnlineReshaper::new(Box::new(OrthogonalRanges::new(SizeRanges::paper_default())));
+        let session = StreamingSession::bounded(AppKind::Video, 39, 45.0);
+        let frames = stream_frames(session, &mut online, &table, station(), ap());
+        let medium = Medium::new(PathLossModel::deterministic(40.0, 2.0), -96.0);
+        let mut sniffer = Sniffer::new(Position::new(4.0, 4.0), ap(), Channel::CH6);
+        let mut rng = StdRng::seed_from_u64(13);
+        inject_frames(
+            frames,
+            &mut sniffer,
+            ap(),
+            (Position::new(0.0, 0.0), 20.0),
+            (Position::new(3.0, 0.0), 15.0),
+            Channel::CH6,
+            &medium,
+            &mut rng,
+        );
+
+        let window = SimDuration::from_secs(5);
+        let fresh_sink = || {
+            AdversarySink::new(
+                FlowWindowers::for_app(
+                    window,
+                    DEFAULT_MIN_PACKETS,
+                    FeatureMode::Full,
+                    AppKind::Video,
+                ),
+                PrequentialEvaluator::new(
+                    OnlineAdversary::new(FEATURE_DIM, AppKind::COUNT, &EnsembleConfig::default()),
+                    5,
+                ),
+            )
+        };
+
+        let mut sliced = fresh_sink();
+        let absorbed =
+            captures_into_sink(sniffer.captures(), station(), AppKind::Video, &mut sliced);
+        sliced.finish();
+
+        let mut per_packet = fresh_sink();
+        let mut fed = 0;
+        for packet in device_packets(sniffer.captures(), station(), AppKind::Video) {
+            per_packet.push(0, &packet);
+            fed += 1;
+        }
+        per_packet.finish();
+
+        assert_eq!(absorbed, fed);
+        assert!(absorbed > 0, "the sniffer captured nothing");
+        assert_eq!(sliced.windows(), per_packet.windows());
+        assert_eq!(
+            sliced.evaluator().timeline(),
+            per_packet.evaluator().timeline(),
+            "prequential timelines must match window for window"
+        );
+        assert_eq!(sliced.evaluator().matrix(), per_packet.evaluator().matrix());
     }
 
     #[test]
